@@ -1,0 +1,32 @@
+//! Bench: the Fig. 3.10 kernel — the Razor-vs-DCS penalty comparison.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn settings(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("fig3_10");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_millis(1500));
+    g.warm_up_time(Duration::from_millis(300));
+    g
+}
+
+use ntc_bench::SchemeFixture;
+use ntc_pipeline::Pipeline;
+
+fn bench(c: &mut Criterion) {
+    let mut fx = SchemeFixture::new(ntc_workload::Benchmark::Mcf);
+    let mut g = settings(c);
+    
+    g.bench_function("razor", |b| {
+        b.iter(|| ntc_core::sim::run_scheme(
+            &mut ntc_core::baselines::Razor::ch3(), &mut fx.oracle, &fx.trace, fx.clock, Pipeline::core1()))
+    });
+    g.bench_function("dcs_icslt", |b| {
+        b.iter(|| ntc_core::sim::run_scheme(
+            &mut ntc_core::dcs::Dcs::icslt_default(), &mut fx.oracle, &fx.trace, fx.clock, Pipeline::core1()))
+    });
+
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

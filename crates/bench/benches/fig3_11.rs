@@ -1,0 +1,32 @@
+//! Bench: the Fig. 3.11 kernel — the four-scheme performance comparison.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn settings(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("fig3_11");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_millis(1500));
+    g.warm_up_time(Duration::from_millis(300));
+    g
+}
+
+use ntc_bench::SchemeFixture;
+use ntc_pipeline::Pipeline;
+
+fn bench(c: &mut Criterion) {
+    let mut fx = SchemeFixture::new(ntc_workload::Benchmark::Gzip);
+    let mut g = settings(c);
+    
+    g.bench_function("hfg", |b| {
+        b.iter(|| ntc_core::sim::run_scheme(
+            &mut ntc_core::baselines::Hfg::with_stretch(1.8), &mut fx.oracle, &fx.trace, fx.clock, Pipeline::core1()))
+    });
+    g.bench_function("dcs_acslt", |b| {
+        b.iter(|| ntc_core::sim::run_scheme(
+            &mut ntc_core::dcs::Dcs::acslt_default(), &mut fx.oracle, &fx.trace, fx.clock, Pipeline::core1()))
+    });
+
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Bench: the Fig. 3.12 kernel — the energy-efficiency accounting.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn settings(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("fig3_12");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_millis(1500));
+    g.warm_up_time(Duration::from_millis(300));
+    g
+}
+
+use ntc_bench::SchemeFixture;
+use ntc_pipeline::Pipeline;
+
+fn bench(c: &mut Criterion) {
+    let mut fx = SchemeFixture::new(ntc_workload::Benchmark::Gzip);
+    let mut g = settings(c);
+    
+    let result = ntc_core::sim::run_scheme(
+        &mut ntc_core::dcs::Dcs::icslt_default(), &mut fx.oracle, &fx.trace, fx.clock, Pipeline::core1());
+    g.bench_function("energy_report", |b| {
+        b.iter(|| result.energy(ntc_pipeline::EnergyModel::ntc_core()))
+    });
+
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Bench: the Fig. 3.2 kernel — the Monte-Carlo choke study (dynamic
+//! two-vector timing over a fabricated ALU, CDL/CGL extraction).
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn settings(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("fig3_2");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_millis(1500));
+    g.warm_up_time(Duration::from_millis(300));
+    g
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = settings(c);
+    g.bench_function("choke_study_ntc_16bit", |b| {
+        b.iter(|| {
+            ntc_experiments::ch3::choke_study::run_choke_study(
+                ntc_varmodel::Corner::NTC, 16, 2, 4, 0x32)
+        })
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

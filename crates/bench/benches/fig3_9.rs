@@ -1,0 +1,33 @@
+//! Bench: the Fig. 3.9 kernel — DCS-ACSLT runs across configurations.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn settings(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("fig3_9");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_millis(1500));
+    g.warm_up_time(Duration::from_millis(300));
+    g
+}
+
+use ntc_bench::SchemeFixture;
+use ntc_pipeline::Pipeline;
+
+fn bench(c: &mut Criterion) {
+    let mut fx = SchemeFixture::new(ntc_workload::Benchmark::Vortex);
+    let mut g = settings(c);
+    
+    for (sets, ways) in [(16usize, 8usize), (32, 16)] {
+        g.bench_function(format!("acslt_{sets}x{ways}"), |b| {
+            b.iter(|| {
+                let mut dcs = ntc_core::dcs::Dcs::new(
+                    ntc_core::dcs::CsltKind::Associative { entries: sets, associativity: ways });
+                ntc_core::sim::run_scheme(&mut dcs, &mut fx.oracle, &fx.trace, fx.clock, Pipeline::core1())
+            })
+        });
+    }
+
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Bench: the Fig. 4.11 kernel — the Ch.4 performance accounting.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn settings(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("fig4_11");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_millis(1500));
+    g.warm_up_time(Duration::from_millis(300));
+    g
+}
+
+use ntc_bench::SchemeFixture;
+use ntc_pipeline::Pipeline;
+
+fn bench(c: &mut Criterion) {
+    let mut fx = SchemeFixture::new(ntc_workload::Benchmark::Gzip);
+    let mut g = settings(c);
+    
+    let r = ntc_core::sim::run_scheme(
+        &mut ntc_core::trident::Trident::paper(), &mut fx.oracle, &fx.trace, fx.tdc_clock, Pipeline::core1());
+    g.bench_function("performance_metric", |b| b.iter(|| r.performance()));
+
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Bench: the Fig. 4.12 kernel — the Ch.4 energy accounting.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn settings(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("fig4_12");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_millis(1500));
+    g.warm_up_time(Duration::from_millis(300));
+    g
+}
+
+use ntc_bench::SchemeFixture;
+use ntc_pipeline::Pipeline;
+
+fn bench(c: &mut Criterion) {
+    let mut fx = SchemeFixture::new(ntc_workload::Benchmark::Gzip);
+    let mut g = settings(c);
+    
+    let r = ntc_core::sim::run_scheme(
+        &mut ntc_core::trident::Trident::paper(), &mut fx.oracle, &fx.trace, fx.tdc_clock, Pipeline::core1());
+    g.bench_function("energy_metric", |b| {
+        b.iter(|| r.energy(ntc_pipeline::EnergyModel::ntc_core()))
+    });
+
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

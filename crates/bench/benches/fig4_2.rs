@@ -1,0 +1,31 @@
+//! Bench: the Fig. 4.2 kernel — buffered vs bufferless dynamic timing of
+//! one instruction pair under choke injection.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn settings(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("fig4_2");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_millis(1500));
+    g.warm_up_time(Duration::from_millis(300));
+    g
+}
+
+use ntc_netlist::generators::alu::{Alu, AluFunc};
+use ntc_timing::DynamicSim;
+use ntc_varmodel::{ChipSignature, Corner, VariationParams};
+
+fn bench(c: &mut Criterion) {
+    let alu = Alu::new(16);
+    let sig = ChipSignature::fabricate(alu.netlist(), Corner::NTC, VariationParams::ntc(), 7);
+    let init = alu.encode(AluFunc::Mult, 0, 0);
+    let sens = alu.encode(AluFunc::Mult, 0xBEEF, 0x1357);
+    let mut g = settings(c);
+    g.bench_function("dynamic_pair_16bit", |b| {
+        let mut sim = DynamicSim::new(alu.netlist(), &sig);
+        b.iter(|| sim.simulate_pair(&init, &sens))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Bench: the Fig. 4.4 kernel — the operand-size error split.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn settings(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("fig4_4");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_millis(1500));
+    g.warm_up_time(Duration::from_millis(300));
+    g
+}
+
+use ntc_bench::SchemeFixture;
+
+fn bench(c: &mut Criterion) {
+    let mut fx = SchemeFixture::new(ntc_workload::Benchmark::Mcf);
+    let mut g = settings(c);
+    
+    let profile = ntc_core::sim::profile_errors(&mut fx.oracle, &fx.trace, fx.clock);
+    g.bench_function("size_split", |b| {
+        b.iter(|| {
+            profile.by_size.values().fold([0u64; 4], |mut acc, s| {
+                for k in 0..4 { acc[k] += s[k]; }
+                acc
+            })
+        })
+    });
+
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench: the Fig. 4.8 kernel — SE/CE classification over a trace.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn settings(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("fig4_8");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_millis(1500));
+    g.warm_up_time(Duration::from_millis(300));
+    g
+}
+
+use ntc_bench::SchemeFixture;
+
+fn bench(c: &mut Criterion) {
+    let mut fx = SchemeFixture::new(ntc_workload::Benchmark::Parser);
+    let mut g = settings(c);
+    
+    g.bench_function("classify_parser", |b| {
+        b.iter(|| ntc_core::sim::profile_errors(&mut fx.oracle, &fx.trace, fx.clock))
+    });
+
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Bench: the Fig. 4.9 kernel — Trident runs across CET sizes.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn settings(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("fig4_9");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_millis(1500));
+    g.warm_up_time(Duration::from_millis(300));
+    g
+}
+
+use ntc_bench::SchemeFixture;
+use ntc_pipeline::Pipeline;
+
+fn bench(c: &mut Criterion) {
+    let mut fx = SchemeFixture::new(ntc_workload::Benchmark::Vortex);
+    let mut g = settings(c);
+    
+    for entries in [32usize, 128] {
+        g.bench_function(format!("trident_cet_{entries}"), |b| {
+            b.iter(|| ntc_core::sim::run_scheme(
+                &mut ntc_core::trident::Trident::new(entries),
+                &mut fx.oracle, &fx.trace, fx.tdc_clock, Pipeline::core1()))
+        });
+    }
+
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Bench: the Section 3.5.6 kernel — gate-level synthesis of the DCS
+//! hardware for the overhead table.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn settings(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("overheads3");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_millis(1500));
+    g.warm_up_time(Duration::from_millis(300));
+    g
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = settings(c);
+    g.bench_function("synth_icslt_128", |b| {
+        b.iter(|| ntc_netlist::synth::synth_associative_table("CSLT", 128, 18))
+    });
+    g.bench_function("synth_acslt_32x16", |b| {
+        b.iter(|| ntc_netlist::synth::synth_set_associative_table("ACSLT", 32, 16, 9, 9))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

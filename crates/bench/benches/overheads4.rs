@@ -1,0 +1,24 @@
+//! Bench: the Section 4.5.7 kernel — synthesis of the Trident hardware.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn settings(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("overheads4");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_millis(1500));
+    g.warm_up_time(Duration::from_millis(300));
+    g
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = settings(c);
+    g.bench_function("synth_cet_128", |b| {
+        b.iter(|| ntc_netlist::synth::synth_associative_table("CET", 128, 26))
+    });
+    g.bench_function("synth_tdc_66", |b| {
+        b.iter(|| ntc_netlist::synth::synth_tdc("TDC", 66))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Bench: substrate kernels — netlist generation, chip fabrication,
+//! static timing, gate-level evaluation.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn settings(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("substrates");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_millis(1500));
+    g.warm_up_time(Duration::from_millis(300));
+    g
+}
+
+use ntc_netlist::generators::alu::{Alu, AluFunc};
+use ntc_timing::StaticTiming;
+use ntc_varmodel::{ChipSignature, Corner, VariationParams};
+
+fn bench(c: &mut Criterion) {
+    let mut g = settings(c);
+    g.bench_function("generate_alu_32", |b| b.iter(|| Alu::new(32)));
+    let alu = Alu::new(32);
+    g.bench_function("fabricate_chip", |b| {
+        b.iter(|| ChipSignature::fabricate(alu.netlist(), Corner::NTC, VariationParams::ntc(), 1))
+    });
+    let sig = ChipSignature::fabricate(alu.netlist(), Corner::NTC, VariationParams::ntc(), 1);
+    g.bench_function("static_timing_32", |b| {
+        b.iter(|| StaticTiming::analyze(alu.netlist(), &sig))
+    });
+    g.bench_function("eval_alu_32", |b| {
+        b.iter(|| alu.execute(AluFunc::Mult, 0xDEAD_BEEF, 0xCAFE_F00D))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,275 @@
+//! The two-phase delay oracle linking the circuit layer to the
+//! architecture layer — the paper's own flow: the statistical timing tool
+//! produces cyclewise sensitized path delays (circuit layer), then the
+//! timing-error simulation runs at instruction granularity over millions of
+//! cycles (architecture layer).
+//!
+//! **Phase A (lazy, gate-level):** the first time a `(previous, current)`
+//! instruction pair with a given operand bucket is seen, the two vectors
+//! are pushed through the glitch-aware [`DynamicSim`] against the bound
+//! chip signature, and the resulting min/max sensitized delays are cached.
+//!
+//! **Phase B (instruction-level):** subsequent occurrences replay the
+//! cached delays. Because choke paths are a *permanent characteristic of a
+//! chip instance* (§3.3), the same instruction pair sensitizing the same
+//! paths reproduces the same delays — exactly the property the caching
+//! exploits, and exactly why history-based prediction works at all.
+//!
+//! Within-tag variability (the reason prediction is not 100 % accurate) is
+//! preserved: operand values hash into one of several buckets per tag, each
+//! bucket simulated with its own real operands.
+
+use ntc_isa::{ErrorTag, Instruction};
+use ntc_netlist::generators::alu::Alu;
+use ntc_netlist::Netlist;
+use ntc_timing::DynamicSim;
+use ntc_varmodel::{ChipSignature, Corner};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Min/max sensitized delay of one simulated cycle, picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleDelays {
+    /// Earliest output transition (`None` when the cycle toggles nothing).
+    pub min_ps: Option<f64>,
+    /// Latest output transition.
+    pub max_ps: Option<f64>,
+}
+
+/// Configuration of the oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleConfig {
+    /// Operand buckets per tag: distinct gate-level samples kept for one
+    /// `(prev, cur)` opcode+OWM tag. More buckets = finer within-tag
+    /// delay diversity at more Phase-A cost.
+    pub buckets_per_tag: usize,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig { buckets_per_tag: 2 }
+    }
+}
+
+/// The per-chip tag→delay oracle.
+///
+/// Owns the netlist and its fabricated signature; borrows nothing, so it
+/// can be moved into long-running simulations.
+pub struct TagDelayOracle {
+    netlist: Netlist,
+    signature: ChipSignature,
+    width: usize,
+    config: OracleConfig,
+    cache: HashMap<(ErrorTag, u32), CycleDelays>,
+    gate_sims: u64,
+}
+
+impl std::fmt::Debug for TagDelayOracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TagDelayOracle")
+            .field("gates", &self.netlist.len())
+            .field("cached", &self.cache.len())
+            .field("gate_sims", &self.gate_sims)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TagDelayOracle {
+    /// Build an oracle over an EX-stage ALU of the architectural width,
+    /// fabricated as chip `seed` at `corner` with `params` variation.
+    pub fn for_chip(
+        corner: Corner,
+        params: ntc_varmodel::VariationParams,
+        seed: u64,
+        config: OracleConfig,
+    ) -> Self {
+        let alu = Alu::new(ntc_isa::ARCH_WIDTH);
+        let netlist = alu.into_netlist();
+        let signature = ChipSignature::fabricate(&netlist, corner, params, seed);
+        Self::new(netlist, signature, config)
+    }
+
+    /// Build an oracle from an explicit netlist + signature (e.g. the
+    /// hold-buffered variant used by Razor-style schemes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signature length does not match the netlist, or the
+    /// netlist lacks the `op`/`a`/`b` input ports of an ALU-shaped block.
+    pub fn new(netlist: Netlist, signature: ChipSignature, config: OracleConfig) -> Self {
+        assert_eq!(signature.delays_ps().len(), netlist.len());
+        let width = netlist
+            .input_port("a")
+            .expect("ALU-shaped netlist with an `a` port")
+            .bits
+            .len();
+        assert!(netlist.input_port("op").is_some(), "missing `op` port");
+        assert!(netlist.input_port("b").is_some(), "missing `b` port");
+        TagDelayOracle {
+            netlist,
+            signature,
+            width,
+            config,
+            cache: HashMap::new(),
+            gate_sims: 0,
+        }
+    }
+
+    /// The nominal (PV-free) critical delay of this oracle's netlist at its
+    /// corner — the reference for clock selection.
+    pub fn nominal_critical_delay_ps(&self) -> f64 {
+        let nominal = ChipSignature::nominal(&self.netlist, self.signature.corner());
+        ntc_timing::StaticTiming::analyze(&self.netlist, &nominal).critical_delay_ps(&self.netlist)
+    }
+
+    /// The *post-silicon* static critical delay of this chip — what a
+    /// worst-case guardbanding controller (HFG) must budget for, since it
+    /// cannot know which paths a workload will sensitize.
+    pub fn static_critical_delay_ps(&self) -> f64 {
+        ntc_timing::StaticTiming::analyze(&self.netlist, &self.signature)
+            .critical_delay_ps(&self.netlist)
+    }
+
+    /// Sensitized min/max delays for executing `cur` right after `prev` on
+    /// this chip.
+    pub fn delays(&mut self, prev: &Instruction, cur: &Instruction) -> CycleDelays {
+        let tag = ErrorTag::of(prev, cur);
+        let bucket = operand_bucket(prev, cur, self.config.buckets_per_tag);
+        match self.cache.entry((tag, bucket)) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(e) => {
+                let init = encode(&self.netlist, self.width, prev);
+                let sens = encode(&self.netlist, self.width, cur);
+                let mut sim = DynamicSim::new(&self.netlist, &self.signature);
+                let t = sim.simulate_pair(&init, &sens);
+                self.gate_sims += 1;
+                *e.insert(CycleDelays {
+                    min_ps: t.min_delay_ps,
+                    max_ps: t.max_delay_ps,
+                })
+            }
+        }
+    }
+
+    /// Number of gate-level simulations run so far (Phase-A cost).
+    pub fn gate_sim_count(&self) -> u64 {
+        self.gate_sims
+    }
+
+    /// Number of cached (tag, bucket) delay entries.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The bound netlist.
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The bound chip signature.
+    pub fn signature(&self) -> &ChipSignature {
+        &self.signature
+    }
+}
+
+/// Stable operand bucket for within-tag delay diversity.
+fn operand_bucket(prev: &Instruction, cur: &Instruction, buckets: usize) -> u32 {
+    if buckets <= 1 {
+        return 0;
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for v in [prev.a, prev.b, cur.a, cur.b] {
+        h ^= v;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    (h % buckets as u64) as u32
+}
+
+/// Encode an instruction as the ALU-shaped netlist's primary inputs.
+fn encode(nl: &Netlist, width: usize, instr: &Instruction) -> Vec<bool> {
+    let func = instr.opcode.alu_func();
+    let code = func.select_code();
+    let mut pis = Vec::with_capacity(4 + 2 * width);
+    pis.extend((0..4).map(|i| (code >> i) & 1 == 1));
+    pis.extend((0..width).map(|i| (instr.a >> i) & 1 == 1));
+    pis.extend((0..width).map(|i| (instr.b >> i) & 1 == 1));
+    let _ = nl;
+    pis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntc_isa::Opcode;
+    use ntc_varmodel::VariationParams;
+
+    fn oracle() -> TagDelayOracle {
+        TagDelayOracle::for_chip(
+            Corner::NTC,
+            VariationParams::ntc(),
+            11,
+            OracleConfig::default(),
+        )
+    }
+
+    #[test]
+    fn delays_are_cached_per_tag_bucket() {
+        let mut o = oracle();
+        let prev = Instruction::new(Opcode::Addu, 0, 0);
+        let cur = Instruction::new(Opcode::Addu, 0xFFFF_FFFF, 1);
+        let d1 = o.delays(&prev, &cur);
+        let sims = o.gate_sim_count();
+        let d2 = o.delays(&prev, &cur);
+        assert_eq!(d1, d2);
+        assert_eq!(o.gate_sim_count(), sims, "second query hits the cache");
+        assert!(d1.max_ps.expect("carry toggles") > 0.0);
+    }
+
+    #[test]
+    fn different_operands_can_use_different_buckets() {
+        let mut o = oracle();
+        let prev = Instruction::new(Opcode::Addu, 0, 0);
+        let mut sims = 0;
+        for a in [1u64, 0xFF, 0xFFFF, 0xFFFF_FFFF, 0x8000_0000, 0x1234_5678] {
+            let cur = Instruction::new(Opcode::Addu, a, 1);
+            let _ = o.delays(&prev, &cur);
+            sims = o.gate_sim_count();
+        }
+        assert!(sims >= 2, "multiple buckets simulated, got {sims}");
+        assert!(sims <= 6);
+    }
+
+    #[test]
+    fn mult_is_slower_than_move() {
+        let mut o = oracle();
+        let prev = Instruction::new(Opcode::Move, 0, 0);
+        let mult = Instruction::new(Opcode::Mult, 0xABCD_1234, 0x1357_9BDF);
+        let mv = Instruction::new(Opcode::Move, 0xABCD_1234, 0);
+        let d_mult = o.delays(&prev, &mult).max_ps.expect("mult toggles");
+        let d_move = o.delays(&prev, &mv).max_ps.expect("move toggles");
+        assert!(
+            d_mult > 2.0 * d_move,
+            "mult {d_mult:.0}ps vs move {d_move:.0}ps"
+        );
+    }
+
+    #[test]
+    fn nominal_critical_delay_is_positive_and_stable() {
+        let o = oracle();
+        let d1 = o.nominal_critical_delay_ps();
+        let d2 = o.nominal_critical_delay_ps();
+        assert!(d1 > 0.0);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn bucket_is_stable_and_bounded() {
+        let p = Instruction::new(Opcode::Or, 3, 4);
+        let c = Instruction::new(Opcode::And, 5, 6);
+        let b1 = operand_bucket(&p, &c, 4);
+        let b2 = operand_bucket(&p, &c, 4);
+        assert_eq!(b1, b2);
+        assert!(b1 < 4);
+        assert_eq!(operand_bucket(&p, &c, 1), 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! `repro` — regenerate every figure and table of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--full] [--out DIR] [ID ...]
+//! ```
+//!
+//! With no IDs, the whole suite runs. `--full` switches to paper-scale
+//! parameters (million-cycle traces); the default fast scale keeps the run
+//! laptop-friendly. Tables print to stdout and CSVs land in `--out`
+//! (default `target/repro`).
+
+use ntc_experiments::{all_experiments, Scale};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let mut scale = Scale::Fast;
+    let mut out = PathBuf::from("target/repro");
+    let mut selected: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--full" => scale = Scale::Full,
+            "--fast" => scale = Scale::Fast,
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "--list" => {
+                for (id, _) in all_experiments() {
+                    println!("{id}");
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--full] [--out DIR] [--list] [ID ...]");
+                return;
+            }
+            id => selected.push(id.to_owned()),
+        }
+    }
+
+    let suite = all_experiments();
+    let to_run: Vec<_> = suite
+        .iter()
+        .filter(|(id, _)| selected.is_empty() || selected.iter().any(|s| s == id))
+        .collect();
+    if to_run.is_empty() {
+        eprintln!("no experiment matches {selected:?}; try --list");
+        std::process::exit(2);
+    }
+
+    println!(
+        "# ntc-choke reproduction suite — {} experiment(s), {:?} scale\n",
+        to_run.len(),
+        scale
+    );
+    for (id, runner) in to_run {
+        let start = Instant::now();
+        let table = runner(scale);
+        let elapsed = start.elapsed();
+        println!("{table}");
+        match table.save_csv(&out) {
+            Ok(path) => println!("[{id}] {:.1}s → {}\n", elapsed.as_secs_f64(), path.display()),
+            Err(e) => eprintln!("[{id}] failed to write CSV: {e}"),
+        }
+    }
+}

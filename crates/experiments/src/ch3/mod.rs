@@ -1,0 +1,9 @@
+//! Chapter-3 (DATE 2017 / Dynamic Choke Sensing) experiment runners.
+
+pub mod choke_study;
+pub mod figures;
+
+pub use figures::{
+    fig_3_10, fig_3_11, fig_3_12, fig_3_2, fig_3_3, fig_3_4, fig_3_8, fig_3_9, overheads_3,
+    FIG_3_4_OPS,
+};

@@ -1,0 +1,449 @@
+//! Chapter-4 figure runners: the minimum-timing-violation motivation study
+//! (4.2–4.4), the Trident evaluation (4.8–4.12) and the §4.5.7 overhead
+//! table.
+
+use crate::config::{build_oracle, normalize_to_first, Scale, CH4_REGIME};
+use crate::table::ResultTable;
+use ntc_core::baselines::{Ocst, Razor};
+use ntc_core::overhead::{trident_overheads, PipelineBaseline};
+use ntc_core::sim::{profile_errors, run_scheme, SimResult};
+use ntc_core::trident::Trident;
+use ntc_isa::{Instruction, Opcode};
+use ntc_netlist::buffer_insertion::insert_hold_buffers;
+use ntc_netlist::generators::alu::Alu;
+use ntc_pipeline::{EnergyModel, Pipeline};
+use ntc_timing::{DynamicSim, ErrorClass};
+use ntc_varmodel::{ChipSignature, Corner, VariationParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ntc_workload::{Benchmark, TraceGenerator, ALL_BENCHMARKS};
+
+/// The fifteen instructions of Fig. 4.2 / 4.3 / 4.4.
+pub const STUDY_INSTRUCTIONS: [Opcode; 15] = [
+    Opcode::Addiu,
+    Opcode::Andi,
+    Opcode::Lui,
+    Opcode::Addu,
+    Opcode::Or,
+    Opcode::Sll,
+    Opcode::Srl,
+    Opcode::Xor,
+    Opcode::Subu,
+    Opcode::Mflo,
+    Opcode::Sra,
+    Opcode::And,
+    Opcode::Sllv,
+    Opcode::Srav,
+    Opcode::Ori,
+];
+
+/// Fig. 4.2: min/max sensitized path-delay variation per instruction, for
+/// buffered vs bufferless EX datapaths at STC and NTC, normalized to the
+/// PV-free delays. Choke gates are limited to 2 % of the netlist, as in
+/// the paper, by injecting the 2 % most-deviant gates of a fabricated
+/// signature and resetting the rest to nominal.
+///
+/// Columns: `<variant>-min` / `<variant>-max` = the *extreme* normalized
+/// min/max path delay observed (the paper's error bars).
+pub fn fig_4_2(scale: Scale) -> ResultTable {
+    let width = ntc_isa::ARCH_WIDTH;
+    let alu = Alu::new(width);
+    let mut t = ResultTable::new(
+        "fig4.2",
+        "Normalized sensitized path delay extremes (PV / PV-free)",
+        [
+            "NTC-bufferless-min",
+            "NTC-bufferless-max",
+            "NTC-buffered-min",
+            "NTC-buffered-max",
+            "STC-bufferless-min",
+            "STC-bufferless-max",
+            "STC-buffered-min",
+            "STC-buffered-max",
+        ],
+    );
+
+    // Build buffered variant against the CH4 hold constraint expressed in
+    // the design-time (nominal STC) delay frame.
+    let (hold_stc_frame, setup_stc_frame) = {
+        let nominal = ChipSignature::nominal(alu.netlist(), Corner::NTC);
+        let crit = ntc_timing::StaticTiming::analyze(alu.netlist(), &nominal)
+            .critical_delay_ps(alu.netlist());
+        let f = Corner::NTC.delay_factor();
+        (
+            crit * CH4_REGIME.hold_frac / f,
+            crit * CH4_REGIME.period_frac / f,
+        )
+    };
+    let (buffered, _, _) = insert_hold_buffers(alu.netlist(), hold_stc_frame, setup_stc_frame);
+
+    let mut rows: Vec<Vec<f64>> = vec![Vec::new(); STUDY_INSTRUCTIONS.len()];
+    for (netlist, corner) in [
+        (alu.netlist(), Corner::NTC),
+        (&buffered, Corner::NTC),
+        (alu.netlist(), Corner::STC),
+        (&buffered, Corner::STC),
+    ] {
+        let params = if corner.name == "STC" {
+            VariationParams::stc()
+        } else {
+            VariationParams::ntc()
+        };
+        let nominal = ChipSignature::nominal(netlist, corner);
+        let mut rng = StdRng::seed_from_u64(0x42);
+        // Operand sample shared across variants of a row.
+        let samples: Vec<(u64, u64, u64, u64)> = (0..scale.circuit_samples())
+            .map(|_| (rng.gen(), rng.gen(), rng.gen(), rng.gen()))
+            .collect();
+
+        for (i, &op) in STUDY_INSTRUCTIONS.iter().enumerate() {
+            let mut min_ratio = f64::INFINITY;
+            let mut max_ratio: f64 = 0.0;
+            for chip in 0..scale.circuit_chips() {
+                let sig = two_percent_choke_signature(netlist, corner, params, 0x42 + chip as u64);
+                let mut sim_pv = DynamicSim::new(netlist, &sig);
+                let mut sim_nom = DynamicSim::new(netlist, &nominal);
+                for &(a1, b1, a2, b2) in &samples {
+                    let prev = Instruction::new(op, a1, b1);
+                    let cur = Instruction::new(op, a2, b2);
+                    let init = encode(netlist, width, &prev);
+                    let sens = encode(netlist, width, &cur);
+                    let t_nom = sim_nom.simulate_pair(&init, &sens);
+                    let t_pv = sim_pv.simulate_pair(&init, &sens);
+                    if let (Some(n), Some(p)) = (t_nom.min_delay_ps, t_pv.min_delay_ps) {
+                        if n > 0.0 {
+                            min_ratio = min_ratio.min(p / n);
+                        }
+                    }
+                    if let (Some(n), Some(p)) = (t_nom.max_delay_ps, t_pv.max_delay_ps) {
+                        if n > 0.0 {
+                            max_ratio = max_ratio.max(p / n);
+                        }
+                    }
+                }
+            }
+            rows[i].push(if min_ratio.is_finite() { min_ratio } else { f64::NAN });
+            rows[i].push(if max_ratio > 0.0 { max_ratio } else { f64::NAN });
+        }
+    }
+    // Reorder: computed as [NTC-bufless, NTC-buf, STC-bufless, STC-buf]
+    // pairs, matching the declared column order.
+    for (i, &op) in STUDY_INSTRUCTIONS.iter().enumerate() {
+        t.push_row(op.mnemonic(), rows[i].clone());
+    }
+    t
+}
+
+/// A signature whose choke gates are limited to 2 % of the netlist: keep
+/// the 1 % most-slowed and the 1 % most-sped-up gates of a fabricated
+/// chip, reset the rest to nominal. Both tails matter: slow chokes cause
+/// the maximum violations, fast chokes (choke buffers) the minimum ones —
+/// and at NTC the slowdown tail is far heavier than the speedup tail, so
+/// ranking by a symmetric deviation would select only slow gates.
+fn two_percent_choke_signature(
+    nl: &ntc_netlist::Netlist,
+    corner: Corner,
+    params: VariationParams,
+    seed: u64,
+) -> ChipSignature {
+    let fabricated = ChipSignature::fabricate(nl, corner, params, seed);
+    let logic: Vec<usize> = nl
+        .gates()
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| !g.kind().is_pseudo())
+        .map(|(i, _)| i)
+        .collect();
+    let mut by_mult = logic.clone();
+    by_mult.sort_by(|&a, &b| {
+        fabricated
+            .multiplier(b)
+            .partial_cmp(&fabricated.multiplier(a))
+            .expect("finite multipliers")
+    });
+    let tail = (logic.len() as f64 * 0.01).ceil() as usize;
+    let kept: Vec<usize> = by_mult[..tail] // slowest 1 %
+        .iter()
+        .chain(by_mult[by_mult.len() - tail..].iter()) // fastest 1 %
+        .copied()
+        .collect();
+
+    let mut sig = ChipSignature::nominal(nl, corner);
+    for &i in &kept {
+        let mult = fabricated.multiplier(i);
+        sig.inject_choke(&[i], mult);
+    }
+    sig
+}
+
+fn encode(nl: &ntc_netlist::Netlist, width: usize, instr: &Instruction) -> Vec<bool> {
+    let code = instr.opcode.alu_func().select_code();
+    let mut pis = Vec::with_capacity(4 + 2 * width);
+    pis.extend((0..4).map(|i| (code >> i) & 1 == 1));
+    pis.extend((0..width).map(|i| (instr.a >> i) & 1 == 1));
+    pis.extend((0..width).map(|i| (instr.b >> i) & 1 == 1));
+    let _ = nl;
+    pis
+}
+
+/// Fig. 4.3: distribution of max-violation / min-violation / error-free
+/// occurrences per instruction, over a mixed trace on buffered NTC chips.
+pub fn fig_4_3(scale: Scale) -> ResultTable {
+    let mut t = ResultTable::new(
+        "fig4.3",
+        "Occurrence distribution per instruction (%)",
+        ["Max errors", "Min errors", "No error"],
+    );
+    let mut agg: std::collections::HashMap<Opcode, (u64, u64, u64)> = Default::default();
+    for chip in 0..scale.chips() {
+        let mut oracle = build_oracle(Corner::NTC, 0x43 + chip as u64, true, CH4_REGIME);
+        let clock = CH4_REGIME.clock(oracle.nominal_critical_delay_ps());
+        // A mixed trace covering all study instructions: union of two
+        // diverse benchmarks.
+        let mut trace = TraceGenerator::new(Benchmark::Vortex, 0x43).trace(scale.cycles() / 2);
+        trace.extend(TraceGenerator::new(Benchmark::Gap, 0x43).trace(scale.cycles() / 2));
+        let p = profile_errors(&mut oracle, &trace, clock);
+        for (&op, &(maxe, mine)) in &p.per_opcode_minmax {
+            let (e, f) = p.per_opcode.get(&op).copied().unwrap_or((0, 0));
+            let entry = agg.entry(op).or_insert((0, 0, 0));
+            entry.0 += maxe;
+            entry.1 += mine;
+            entry.2 += (e + f).saturating_sub(maxe + mine);
+        }
+    }
+    for op in STUDY_INSTRUCTIONS {
+        let (maxe, mine, clean) = agg.get(&op).copied().unwrap_or((0, 0, 0));
+        let total = (maxe + mine + clean).max(1) as f64;
+        t.push_row(
+            op.mnemonic(),
+            vec![
+                100.0 * maxe as f64 / total,
+                100.0 * mine as f64 / total,
+                100.0 * clean as f64 / total,
+            ],
+        );
+    }
+    t
+}
+
+/// Fig. 4.4: max/min error distribution by operand size (Large/Small) per
+/// instruction.
+pub fn fig_4_4(scale: Scale) -> ResultTable {
+    let mut t = ResultTable::new(
+        "fig4.4",
+        "Error distribution by operand size (%)",
+        ["Max-Large", "Max-Small", "Min-Large", "Min-Small"],
+    );
+    let mut agg: std::collections::HashMap<Opcode, [u64; 4]> = Default::default();
+    for chip in 0..scale.chips() {
+        let mut oracle = build_oracle(Corner::NTC, 0x44 + chip as u64, true, CH4_REGIME);
+        let clock = CH4_REGIME.clock(oracle.nominal_critical_delay_ps());
+        let mut trace = TraceGenerator::new(Benchmark::Vortex, 0x44).trace(scale.cycles() / 2);
+        trace.extend(TraceGenerator::new(Benchmark::Mcf, 0x44).trace(scale.cycles() / 2));
+        let p = profile_errors(&mut oracle, &trace, clock);
+        for (&op, sizes) in &p.by_size {
+            let entry = agg.entry(op).or_insert([0; 4]);
+            for k in 0..4 {
+                entry[k] += sizes[k];
+            }
+        }
+    }
+    let chart_ops = [
+        Opcode::Addu,
+        Opcode::Subu,
+        Opcode::Mflo,
+        Opcode::Andi,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Lui,
+        Opcode::Sllv,
+    ];
+    for op in chart_ops {
+        let sizes = agg.get(&op).copied().unwrap_or([0; 4]);
+        let total = sizes.iter().sum::<u64>().max(1) as f64;
+        t.push_row(
+            op.mnemonic(),
+            sizes.iter().map(|&s| 100.0 * s as f64 / total).collect(),
+        );
+    }
+    t
+}
+
+/// Fig. 4.8: distribution of SE(Min) / SE(Max) / CE per benchmark, on the
+/// buffered netlist with avoidance disabled (pure profiling).
+pub fn fig_4_8(scale: Scale) -> ResultTable {
+    let mut t = ResultTable::new(
+        "fig4.8",
+        "Error-class distribution per benchmark (%)",
+        ["SE(Min)", "SE(Max)", "CE"],
+    );
+    for bench in ALL_BENCHMARKS {
+        let mut counts = [0u64; 3];
+        for chip in 0..scale.chips() {
+            let mut oracle = build_oracle(Corner::NTC, 0x48 + chip as u64, true, CH4_REGIME);
+            let clock = CH4_REGIME.clock(oracle.nominal_critical_delay_ps());
+            let trace = TraceGenerator::new(bench, 11).trace(scale.cycles());
+            let p = profile_errors(&mut oracle, &trace, clock);
+            counts[0] += p.class_count(ErrorClass::SingleMin);
+            counts[1] += p.class_count(ErrorClass::SingleMax);
+            counts[2] += p.class_count(ErrorClass::Consecutive);
+        }
+        let total = counts.iter().sum::<u64>().max(1) as f64;
+        t.push_row(
+            bench.name(),
+            counts.iter().map(|&c| 100.0 * c as f64 / total).collect(),
+        );
+    }
+    t
+}
+
+/// Fig. 4.9: Trident prediction accuracy vs CET entry count.
+pub fn fig_4_9(scale: Scale) -> ResultTable {
+    let sizes = [32usize, 64, 128, 256, 512];
+    let mut t = ResultTable::new(
+        "fig4.9",
+        "Trident prediction accuracy (%) vs CET entries",
+        sizes.iter().map(|s| s.to_string()),
+    );
+    for bench in ALL_BENCHMARKS {
+        let mut row = vec![0.0; sizes.len()];
+        for chip in 0..scale.chips() {
+            let mut oracle = build_oracle(Corner::NTC, 0x49 + chip as u64, false, CH4_REGIME);
+            let trace = TraceGenerator::new(bench, 13).trace(scale.cycles());
+            let tdc_clock = CH4_REGIME.tdc_clock(oracle.nominal_critical_delay_ps());
+            for (k, &entries) in sizes.iter().enumerate() {
+                let mut trident = Trident::new(entries);
+                let r = run_scheme(&mut trident, &mut oracle, &trace, tdc_clock, Pipeline::core1());
+                row[k] += r.prediction_accuracy();
+            }
+        }
+        for v in &mut row {
+            *v /= scale.chips() as f64;
+        }
+        t.push_row(bench.name(), row);
+    }
+    t
+}
+
+/// One full Ch. 4 comparison (Razor, OCST, Trident) for one benchmark,
+/// summed over chips. Razor and OCST run on the buffered netlist (their
+/// design requires it); Trident runs bufferless.
+fn ch4_compare(bench: Benchmark, scale: Scale) -> Vec<SimResult> {
+    let mut out: Vec<SimResult> = Vec::new();
+    for chip in 0..scale.chips() {
+        let seed = 400 + chip as u64;
+        let mut oracle_buf = build_oracle(Corner::NTC, seed, true, CH4_REGIME);
+        let mut oracle_bare = build_oracle(Corner::NTC, seed, false, CH4_REGIME);
+        let clock = CH4_REGIME.clock(oracle_bare.nominal_critical_delay_ps());
+        let trace = TraceGenerator::new(bench, 17).trace(scale.cycles());
+
+        let tdc_clock = CH4_REGIME.tdc_clock(oracle_bare.nominal_critical_delay_ps());
+
+        let mut razor = Razor::ch4();
+        let r_razor = run_scheme(&mut razor, &mut oracle_buf, &trace, clock, Pipeline::core1());
+        // The paper tunes every 100 k cycles over 1 M-cycle runs (ten
+        // tuning opportunities); shorter fast-scale traces keep the same
+        // tuning-to-run ratio.
+        let interval = (scale.cycles() as u64 / 10).min(100_000).max(1);
+        let mut ocst = Ocst::new(interval, 0.30);
+        let r_ocst = run_scheme(&mut ocst, &mut oracle_buf, &trace, clock, Pipeline::core1());
+        let mut trident = Trident::paper();
+        let r_trident = run_scheme(
+            &mut trident,
+            &mut oracle_bare,
+            &trace,
+            tdc_clock,
+            Pipeline::core1(),
+        );
+        let results = vec![r_razor, r_ocst, r_trident];
+        if out.is_empty() {
+            out = results;
+        } else {
+            for (agg, r) in out.iter_mut().zip(results) {
+                agg.cost.stall_cycles += r.cost.stall_cycles;
+                agg.cost.flush_cycles += r.cost.flush_cycles;
+                agg.cost.flush_events += r.cost.flush_events;
+                agg.cost.instructions += r.cost.instructions;
+                agg.avoided += r.avoided;
+                agg.false_positives += r.false_positives;
+                agg.recovered += r.recovered;
+                agg.corruptions += r.corruptions;
+            }
+        }
+    }
+    out
+}
+
+/// Fig. 4.10: penalty cycles of Razor / OCST / Trident, normalized to
+/// Razor (lower is better).
+pub fn fig_4_10(scale: Scale) -> ResultTable {
+    let mut t = ResultTable::new(
+        "fig4.10",
+        "Penalty cycles normalized to Razor (lower is better)",
+        ["Razor", "OCST", "Trident"],
+    );
+    for bench in ALL_BENCHMARKS {
+        let rs = ch4_compare(bench, scale);
+        let p: Vec<f64> = rs.iter().map(|r| r.cost.penalty_cycles() as f64).collect();
+        t.push_row(bench.name(), normalize_to_first(&p));
+    }
+    t
+}
+
+/// Fig. 4.11: performance of Razor / OCST / Trident normalized to Razor
+/// (higher is better).
+pub fn fig_4_11(scale: Scale) -> ResultTable {
+    let mut t = ResultTable::new(
+        "fig4.11",
+        "Performance normalized to Razor (higher is better)",
+        ["Razor", "OCST", "Trident"],
+    );
+    for bench in ALL_BENCHMARKS {
+        let rs = ch4_compare(bench, scale);
+        let p: Vec<f64> = rs.iter().map(SimResult::performance).collect();
+        t.push_row(bench.name(), normalize_to_first(&p));
+    }
+    t
+}
+
+/// Fig. 4.12: energy efficiency of Razor / OCST / Trident normalized to
+/// Razor (higher is better).
+pub fn fig_4_12(scale: Scale) -> ResultTable {
+    let mut t = ResultTable::new(
+        "fig4.12",
+        "Energy efficiency normalized to Razor (higher is better)",
+        ["Razor", "OCST", "Trident"],
+    );
+    let model = EnergyModel::ntc_core();
+    for bench in ALL_BENCHMARKS {
+        let rs = ch4_compare(bench, scale);
+        let p: Vec<f64> = rs.iter().map(|r| r.energy(model).efficiency).collect();
+        t.push_row(bench.name(), normalize_to_first(&p));
+    }
+    t
+}
+
+/// §4.5.7: the Trident hardware-overhead table (relative to the EX stage
+/// and to the whole pipeline).
+pub fn overheads_4() -> ResultTable {
+    let base = PipelineBaseline::synthesize();
+    let r = trident_overheads(128, &base);
+    let mut t = ResultTable::new(
+        "tab4.overheads",
+        "Trident hardware overheads (%)",
+        ["area", "power", "wirelength"],
+    );
+    t.push_row(
+        "vs EX stage",
+        vec![r.area_pct_ex, r.power_pct_ex, r.wirelength_pct_ex],
+    );
+    t.push_row(
+        "vs pipeline",
+        vec![
+            r.area_pct_pipeline,
+            r.power_pct_pipeline,
+            r.wirelength_pct_pipeline,
+        ],
+    );
+    t
+}

@@ -1,0 +1,8 @@
+//! Chapter-4 (Trident) experiment runners.
+
+pub mod figures;
+
+pub use figures::{
+    fig_4_10, fig_4_11, fig_4_12, fig_4_2, fig_4_3, fig_4_4, fig_4_8, fig_4_9, overheads_4,
+    STUDY_INSTRUCTIONS,
+};

@@ -1,0 +1,12 @@
+//! Structural netlist generators: the substitute for RTL synthesis.
+//!
+//! Each generator emits the gate-level structure a synthesis tool would
+//! produce for the corresponding datapath block, preserving the logic-depth
+//! and path-diversity characteristics the timing study depends on.
+
+pub mod adder;
+pub mod alu;
+pub mod ex_stage;
+pub mod logic;
+pub mod multiplier;
+pub mod shifter;

@@ -1,0 +1,121 @@
+//! Property-based tests: every structural generator must agree with plain
+//! machine arithmetic for arbitrary operands, and transformation passes
+//! must preserve function.
+
+use ntc_netlist::buffer_insertion::insert_hold_buffers;
+use ntc_netlist::generators::alu::{Alu, AluFunc, ALL_ALU_FUNCS};
+use ntc_netlist::generators::ex_stage::ExStage;
+use ntc_netlist::generators::{adder, multiplier, shifter};
+use ntc_netlist::Builder;
+use proptest::prelude::*;
+
+fn to_bits(v: u64, w: usize) -> Vec<bool> {
+    (0..w).map(|i| (v >> i) & 1 == 1).collect()
+}
+
+fn from_bits(bits: &[bool]) -> u64 {
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kogge_stone_adds(a in any::<u16>(), b in any::<u16>(), cin in any::<bool>()) {
+        let w = 16;
+        let mut builder = Builder::new();
+        let abus = builder.input_bus("a", w);
+        let bbus = builder.input_bus("b", w);
+        let cinw = builder.input("cin");
+        let out = adder::kogge_stone(&mut builder, &abus, &bbus, cinw);
+        builder.output_bus("sum", &out.sum);
+        builder.output("cout", out.cout);
+        let nl = builder.finish();
+
+        let mut pis = to_bits(a as u64, w);
+        pis.extend(to_bits(b as u64, w));
+        pis.push(cin);
+        let res = nl.eval(&pis);
+        let full = a as u32 + b as u32 + cin as u32;
+        prop_assert_eq!(from_bits(&res[..w]), (full & 0xFFFF) as u64);
+        prop_assert_eq!(res[w], full >> 16 == 1);
+    }
+
+    #[test]
+    fn multiplier_multiplies(a in any::<u16>(), b in any::<u16>()) {
+        let w = 16;
+        let mut builder = Builder::new();
+        let abus = builder.input_bus("a", w);
+        let bbus = builder.input_bus("b", w);
+        let p = multiplier::array_multiplier_low(&mut builder, &abus, &bbus);
+        builder.output_bus("p", &p);
+        let nl = builder.finish();
+
+        let mut pis = to_bits(a as u64, w);
+        pis.extend(to_bits(b as u64, w));
+        let res = nl.eval(&pis);
+        prop_assert_eq!(from_bits(&res), (a.wrapping_mul(b)) as u64);
+    }
+
+    #[test]
+    fn barrel_shifts(v in any::<u16>(), amt in 0u64..16) {
+        let w = 16;
+        for (kind, expect) in [
+            (shifter::ShiftKind::LogicalLeft, ((v as u64) << amt) & 0xFFFF),
+            (shifter::ShiftKind::LogicalRight, (v as u64) >> amt),
+            (shifter::ShiftKind::ArithmeticRight, (((v as i16) >> amt) as u16) as u64),
+            (shifter::ShiftKind::RotateRight, v.rotate_right(amt as u32) as u64),
+        ] {
+            let mut builder = Builder::new();
+            let vb = builder.input_bus("v", w);
+            let ab = builder.input_bus("amt", shifter::amount_bits(w));
+            let out = shifter::barrel_shifter(&mut builder, &vb, &ab, kind);
+            builder.output_bus("out", &out);
+            let nl = builder.finish();
+            let mut pis = to_bits(v as u64, w);
+            pis.extend(to_bits(amt, shifter::amount_bits(w)));
+            prop_assert_eq!(from_bits(&nl.eval(&pis)), expect, "{:?} amt={}", kind, amt);
+        }
+    }
+
+    #[test]
+    fn alu_agrees_with_golden(op_idx in 0usize..13, a in any::<u8>(), b in any::<u8>()) {
+        // Small ALU so each case is fast; the structure is width-uniform.
+        let alu = Alu::new(8);
+        let func = ALL_ALU_FUNCS[op_idx];
+        prop_assert_eq!(alu.execute(func, a as u64, b as u64), func.golden(a as u64, b as u64, 8));
+    }
+
+    #[test]
+    fn buffer_insertion_preserves_function(op_idx in 0usize..13, a in any::<u8>(), b in any::<u8>()) {
+        let alu = Alu::new(8);
+        let (padded, _, _) = insert_hold_buffers(alu.netlist(), 170.0, 2000.0);
+        let func = ALL_ALU_FUNCS[op_idx];
+        let pis = alu.encode(func, a as u64, b as u64);
+        prop_assert_eq!(alu.netlist().eval(&pis), padded.eval(&pis));
+    }
+
+    #[test]
+    fn ex_stage_agrees_with_golden(op_idx in 0usize..13, a in any::<u8>(), b in any::<u8>()) {
+        let ex = ExStage::new(8);
+        let func = ALL_ALU_FUNCS[op_idx];
+        prop_assert_eq!(ex.execute(func, a as u64, b as u64), func.golden(a as u64, b as u64, 8));
+    }
+}
+
+#[test]
+fn golden_matches_wrapping_semantics_64() {
+    // The golden model itself must match machine arithmetic at full width.
+    for (a, b) in [
+        (u64::MAX, 1u64),
+        (0x8000_0000_0000_0000, 0x8000_0000_0000_0000),
+        (0x0123_4567_89AB_CDEF, 0xFEDC_BA98_7654_3210),
+    ] {
+        assert_eq!(AluFunc::Add.golden(a, b, 64), a.wrapping_add(b));
+        assert_eq!(AluFunc::Sub.golden(a, b, 64), a.wrapping_sub(b));
+        assert_eq!(AluFunc::Mult.golden(a, b, 64), a.wrapping_mul(b));
+        assert_eq!(AluFunc::Nor.golden(a, b, 64), !(a | b));
+    }
+}

@@ -1,0 +1,426 @@
+//! Dynamic (two-vector) timing simulation — the in-house "statistical
+//! dynamic timing analysis tool" of the paper's circuit layer.
+//!
+//! Timing errors depend on *sensitized* paths, which depend on two
+//! consecutive input vectors: the **initializing** vector (previous cycle)
+//! settles the circuit state, and the **sensitizing** vector (current
+//! cycle) launches transitions through whichever paths the pair activates.
+//! The simulator propagates bounded per-net transition waveforms through
+//! the netlist in topological order, so it is glitch-aware: it reports not
+//! just the earliest/latest output arrival but the full transition list per
+//! output — precisely what Trident's transition detector monitors.
+
+use ntc_netlist::{CellKind, Netlist};
+use ntc_varmodel::ChipSignature;
+
+/// Maximum transitions tracked per net within one cycle. Nets that glitch
+/// more keep their first and last transitions (the ones that matter for
+/// min/max violation analysis) and drop interior ones.
+pub const MAX_EVENTS_PER_NET: usize = 8;
+
+/// One net's activity during a cycle: its settled initial value and the
+/// (time-ordered) value changes.
+#[derive(Debug, Clone, Default)]
+struct Wave {
+    init: bool,
+    /// Times at which the net toggles; the value after event `k` is
+    /// `init ^ ((k+1) & 1 == 1)`... i.e. it alternates starting from init.
+    toggles: Vec<f64>,
+    /// True if interior events were dropped due to the cap.
+    truncated: bool,
+}
+
+impl Wave {
+    #[inline]
+    fn final_value(&self) -> bool {
+        self.init ^ (self.toggles.len() % 2 == 1)
+    }
+
+    #[inline]
+    fn value_at(&self, t: f64) -> bool {
+        // Number of toggles at or before t.
+        let k = self.toggles.partition_point(|&x| x <= t);
+        self.init ^ (k % 2 == 1)
+    }
+
+    fn push_toggle(&mut self, t: f64) {
+        if self.toggles.len() >= MAX_EVENTS_PER_NET {
+            // Keep parity and the extremes: drop the second-to-last event.
+            // Removing an interior *pair* preserves the final value; we drop
+            // two interior toggles (a glitch) nearest the end.
+            let len = self.toggles.len();
+            self.toggles.drain(len - 3..len - 1);
+            self.truncated = true;
+        }
+        self.toggles.push(t);
+    }
+}
+
+/// Transition activity of one primary output during a cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputActivity {
+    /// Settled value before the sensitizing vector was applied.
+    pub initial: bool,
+    /// Final settled value.
+    pub final_value: bool,
+    /// Transition times, ps after the launch edge, in increasing order.
+    pub transitions: Vec<f64>,
+}
+
+impl OutputActivity {
+    /// Earliest transition time, if the output toggled at all.
+    pub fn first_transition(&self) -> Option<f64> {
+        self.transitions.first().copied()
+    }
+
+    /// Latest transition time, if the output toggled at all.
+    pub fn last_transition(&self) -> Option<f64> {
+        self.transitions.last().copied()
+    }
+}
+
+/// Result of simulating one (initializing, sensitizing) vector pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleTiming {
+    /// Earliest output transition across all primary outputs (`None` if no
+    /// output toggled).
+    pub min_delay_ps: Option<f64>,
+    /// Latest output transition across all primary outputs.
+    pub max_delay_ps: Option<f64>,
+    /// Per-output transition activity, in output declaration order.
+    pub outputs: Vec<OutputActivity>,
+    /// Total output transitions (a switching-activity proxy for the energy
+    /// model).
+    pub total_output_transitions: usize,
+    /// Total internal net toggles observed (switching-activity proxy).
+    pub internal_toggles: usize,
+}
+
+/// Reusable dynamic timing simulator bound to one netlist + chip signature.
+///
+/// # Examples
+///
+/// ```
+/// use ntc_netlist::generators::alu::{Alu, AluFunc};
+/// use ntc_timing::DynamicSim;
+/// use ntc_varmodel::{ChipSignature, Corner};
+///
+/// let alu = Alu::new(8);
+/// let chip = ChipSignature::nominal(alu.netlist(), Corner::NTC);
+/// let mut sim = DynamicSim::new(alu.netlist(), &chip);
+/// let init = alu.encode(AluFunc::Add, 0, 0);
+/// let sens = alu.encode(AluFunc::Add, 0xFF, 0x01);
+/// let timing = sim.simulate_pair(&init, &sens);
+/// assert!(timing.max_delay_ps.expect("carry chain toggles") > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct DynamicSim<'a> {
+    nl: &'a Netlist,
+    sig: &'a ChipSignature,
+    waves: Vec<Wave>,
+    scratch_times: Vec<f64>,
+}
+
+impl<'a> DynamicSim<'a> {
+    /// Bind a simulator to a netlist and a fabricated chip's signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signature length does not match the netlist.
+    pub fn new(nl: &'a Netlist, sig: &'a ChipSignature) -> Self {
+        assert_eq!(sig.delays_ps().len(), nl.len(), "signature/netlist mismatch");
+        DynamicSim {
+            nl,
+            sig,
+            waves: vec![Wave::default(); nl.len()],
+            scratch_times: Vec::with_capacity(16),
+        }
+    }
+
+    /// Simulate one cycle: the circuit is settled at `initializing`, then
+    /// `sensitizing` is applied at t = 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vector's width differs from the primary-input count.
+    pub fn simulate_pair(&mut self, initializing: &[bool], sensitizing: &[bool]) -> CycleTiming {
+        let nl = self.nl;
+        assert_eq!(initializing.len(), nl.inputs().len(), "init vector width");
+        assert_eq!(sensitizing.len(), nl.inputs().len(), "sens vector width");
+
+        // Settle the initializing vector.
+        let settled = nl.eval_all(initializing);
+
+        // Reset waves.
+        for (w, &v) in self.waves.iter_mut().zip(settled.iter()) {
+            w.init = v;
+            w.toggles.clear();
+            w.truncated = false;
+        }
+
+        // Primary-input transitions at t = 0.
+        let mut pi_iter = sensitizing.iter();
+        let mut internal_toggles = 0usize;
+        for (i, gate) in nl.gates().iter().enumerate() {
+            match gate.kind() {
+                CellKind::Input => {
+                    let new = *pi_iter.next().expect("width checked");
+                    if new != self.waves[i].init {
+                        self.waves[i].toggles.push(0.0);
+                    }
+                }
+                CellKind::Const0 | CellKind::Const1 => {}
+                kind => {
+                    // Gather candidate evaluation times from input toggles.
+                    self.scratch_times.clear();
+                    for s in gate.inputs() {
+                        self.scratch_times
+                            .extend_from_slice(&self.waves[s.index()].toggles);
+                    }
+                    if self.scratch_times.is_empty() {
+                        continue;
+                    }
+                    self.scratch_times
+                        .sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+                    self.scratch_times.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+
+                    let delay = self.sig.delay_ps(i);
+                    let ins = gate.inputs();
+                    let mut last_val = self.waves[i].init;
+                    // Evaluate the gate at each candidate time; emit output
+                    // toggles (delayed) whenever the value changes.
+                    let mut emitted: Vec<f64> = Vec::new();
+                    for k in 0..self.scratch_times.len() {
+                        let t = self.scratch_times[k];
+                        let mut vals = [false; 3];
+                        for (j, s) in ins.iter().enumerate() {
+                            vals[j] = self.waves[s.index()].value_at(t);
+                        }
+                        let v = kind.eval(&vals[..ins.len()]);
+                        if v != last_val {
+                            emitted.push(t + delay);
+                            last_val = v;
+                        }
+                    }
+                    internal_toggles += emitted.len();
+                    for t in emitted {
+                        self.waves[i].push_toggle(t);
+                    }
+                }
+            }
+        }
+
+        // Collect per-output activity.
+        let mut min_d: Option<f64> = None;
+        let mut max_d: Option<f64> = None;
+        let mut total = 0usize;
+        let outputs: Vec<OutputActivity> = nl
+            .outputs()
+            .iter()
+            .map(|s| {
+                let w = &self.waves[s.index()];
+                if let Some(&first) = w.toggles.first() {
+                    min_d = Some(min_d.map_or(first, |m: f64| m.min(first)));
+                }
+                if let Some(&last) = w.toggles.last() {
+                    max_d = Some(max_d.map_or(last, |m: f64| m.max(last)));
+                }
+                total += w.toggles.len();
+                OutputActivity {
+                    initial: w.init,
+                    final_value: w.final_value(),
+                    transitions: w.toggles.clone(),
+                }
+            })
+            .collect();
+
+        CycleTiming {
+            min_delay_ps: min_d,
+            max_delay_ps: max_d,
+            outputs,
+            total_output_transitions: total,
+            internal_toggles,
+        }
+    }
+
+    /// Indices of gates that toggled during the most recent
+    /// [`simulate_pair`](Self::simulate_pair) call — i.e. the *sensitized*
+    /// gates of that cycle. Pseudo-cells (inputs) are excluded.
+    pub fn sensitized_gates(&self) -> Vec<usize> {
+        self.nl
+            .gates()
+            .iter()
+            .enumerate()
+            .filter(|(i, g)| !g.kind().is_pseudo() && !self.waves[*i].toggles.is_empty())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The bound netlist.
+    pub fn netlist(&self) -> &Netlist {
+        self.nl
+    }
+
+    /// The bound chip signature.
+    pub fn signature(&self) -> &ChipSignature {
+        self.sig
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntc_netlist::generators::alu::{Alu, AluFunc};
+    use ntc_netlist::Builder;
+    use ntc_varmodel::{Corner, VariationParams};
+
+    #[test]
+    fn settled_final_values_match_eval() {
+        let alu = Alu::new(8);
+        let sig = ChipSignature::fabricate(alu.netlist(), Corner::NTC, VariationParams::ntc(), 2);
+        let mut sim = DynamicSim::new(alu.netlist(), &sig);
+        let cases = [
+            (AluFunc::Add, 0u64, 0u64, AluFunc::Add, 0xFFu64, 0x01u64),
+            (AluFunc::Xor, 0xAA, 0x55, AluFunc::Mult, 0x12, 0x34),
+            (AluFunc::Buffer, 1, 0, AluFunc::Nor, 0xF0, 0x0F),
+        ];
+        for (f1, a1, b1, f2, a2, b2) in cases {
+            let init = alu.encode(f1, a1, b1);
+            let sens = alu.encode(f2, a2, b2);
+            let timing = sim.simulate_pair(&init, &sens);
+            let expect = alu.netlist().eval(&sens);
+            let got: Vec<bool> = timing.outputs.iter().map(|o| o.final_value).collect();
+            assert_eq!(got, expect, "{f1}->{f2}");
+            // Initial values must match the settled initializing vector.
+            let expect_init = alu.netlist().eval(&init);
+            let got_init: Vec<bool> = timing.outputs.iter().map(|o| o.initial).collect();
+            assert_eq!(got_init, expect_init);
+        }
+    }
+
+    #[test]
+    fn identical_vectors_produce_no_transitions() {
+        let alu = Alu::new(8);
+        let sig = ChipSignature::nominal(alu.netlist(), Corner::NTC);
+        let mut sim = DynamicSim::new(alu.netlist(), &sig);
+        let v = alu.encode(AluFunc::And, 0x3C, 0x5A);
+        let timing = sim.simulate_pair(&v, &v);
+        assert_eq!(timing.total_output_transitions, 0);
+        assert!(timing.min_delay_ps.is_none());
+        assert!(timing.max_delay_ps.is_none());
+    }
+
+    #[test]
+    fn max_delay_bounded_by_static_analysis() {
+        let alu = Alu::new(8);
+        let sig = ChipSignature::fabricate(alu.netlist(), Corner::NTC, VariationParams::ntc(), 9);
+        let static_t = crate::sta::StaticTiming::analyze(alu.netlist(), &sig);
+        let bound = static_t.critical_delay_ps(alu.netlist());
+        let mut sim = DynamicSim::new(alu.netlist(), &sig);
+        for (a, b) in [(0u64, 0xFFu64), (0x80, 0x7F), (0xFF, 0xFF)] {
+            let init = alu.encode(AluFunc::Mult, 0, 0);
+            let sens = alu.encode(AluFunc::Mult, a, b);
+            let timing = sim.simulate_pair(&init, &sens);
+            if let Some(d) = timing.max_delay_ps {
+                assert!(d <= bound + 1e-6, "dynamic {d} vs static bound {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn carry_ripple_takes_longer_than_single_bit() {
+        // a=0xFF + 1 ripples the whole carry chain; a=0x01+1 does not.
+        let alu = Alu::new(8);
+        let sig = ChipSignature::nominal(alu.netlist(), Corner::NTC);
+        let mut sim = DynamicSim::new(alu.netlist(), &sig);
+        let init = alu.encode(AluFunc::Add, 0, 0);
+        let long = sim
+            .simulate_pair(&init, &alu.encode(AluFunc::Add, 0xFF, 0x01))
+            .max_delay_ps
+            .expect("toggles");
+        let short = sim
+            .simulate_pair(&init, &alu.encode(AluFunc::Buffer, 0x01, 0x00))
+            .max_delay_ps
+            .expect("toggles");
+        assert!(
+            long > short * 1.5,
+            "full-carry add {long} vs buffer {short}"
+        );
+    }
+
+    #[test]
+    fn transition_lists_are_sorted() {
+        let alu = Alu::new(8);
+        let sig = ChipSignature::fabricate(alu.netlist(), Corner::NTC, VariationParams::ntc(), 4);
+        let mut sim = DynamicSim::new(alu.netlist(), &sig);
+        let init = alu.encode(AluFunc::Xor, 0x00, 0x00);
+        let sens = alu.encode(AluFunc::Add, 0xAB, 0x55);
+        let timing = sim.simulate_pair(&init, &sens);
+        for o in &timing.outputs {
+            for w in o.transitions.windows(2) {
+                assert!(w[0] <= w[1] + 1e-9);
+            }
+            // Parity: even transition count => final == initial.
+            assert_eq!(o.final_value, o.initial ^ (o.transitions.len() % 2 == 1));
+        }
+    }
+
+    #[test]
+    fn glitches_are_observed() {
+        // A classic glitch generator: y = a AND (NOT a) with asymmetric
+        // delays pulses when a rises.
+        let mut b = Builder::new();
+        let a = b.input("a");
+        let na = b.not(a);
+        let na2 = b.buf(na);
+        let y = b.and(a, na2);
+        b.output("y", y);
+        let nl = b.finish();
+        let sig = ChipSignature::nominal(&nl, Corner::STC);
+        let mut sim = DynamicSim::new(&nl, &sig);
+        let timing = sim.simulate_pair(&[false], &[true]);
+        // Output starts 0, pulses to 1, falls back to 0: two transitions.
+        assert_eq!(timing.outputs[0].transitions.len(), 2);
+        assert_eq!(timing.outputs[0].initial, false);
+        assert_eq!(timing.outputs[0].final_value, false);
+        let rise = timing.outputs[0].transitions[0];
+        let fall = timing.outputs[0].transitions[1];
+        assert!(fall > rise);
+    }
+
+    #[test]
+    fn pv_changes_dynamic_delays() {
+        let alu = Alu::new(8);
+        let nom = ChipSignature::nominal(alu.netlist(), Corner::NTC);
+        let pv = ChipSignature::fabricate(alu.netlist(), Corner::NTC, VariationParams::ntc(), 77);
+        let init = alu.encode(AluFunc::Add, 0, 0);
+        let sens = alu.encode(AluFunc::Add, 0xFF, 0x01);
+        let d_nom = DynamicSim::new(alu.netlist(), &nom)
+            .simulate_pair(&init, &sens)
+            .max_delay_ps
+            .expect("toggles");
+        let d_pv = DynamicSim::new(alu.netlist(), &pv)
+            .simulate_pair(&init, &sens)
+            .max_delay_ps
+            .expect("toggles");
+        assert!((d_pv - d_nom).abs() / d_nom > 0.01, "nom {d_nom} pv {d_pv}");
+    }
+
+    #[test]
+    fn event_cap_preserves_parity_and_extremes() {
+        let mut w = Wave {
+            init: false,
+            toggles: vec![],
+            truncated: false,
+        };
+        for i in 0..40 {
+            w.push_toggle(i as f64);
+        }
+        assert!(w.toggles.len() <= MAX_EVENTS_PER_NET);
+        assert!(w.truncated);
+        // 40 toggles => even => final value equals init.
+        assert_eq!(w.final_value(), false);
+        assert_eq!(w.toggles[0], 0.0);
+        assert_eq!(*w.toggles.last().expect("nonempty"), 39.0);
+    }
+}

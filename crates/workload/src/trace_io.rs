@@ -1,0 +1,157 @@
+//! Trace serialization: a simple line-oriented text format so generated
+//! instruction streams can be archived, diffed, and replayed exactly —
+//! the reproducibility glue between experiment runs.
+//!
+//! Format: one instruction per line, `MNEMONIC a_hex b_hex`; `#` starts a
+//! comment; blank lines are ignored.
+
+use ntc_isa::{Instruction, ALL_OPCODES};
+#[cfg(test)]
+use ntc_isa::Opcode;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Errors raised while parsing a trace.
+#[derive(Debug)]
+pub enum ParseTraceError {
+    /// Line did not have exactly three fields.
+    BadFieldCount {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Unknown mnemonic.
+    UnknownOpcode {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        mnemonic: String,
+    },
+    /// Operand was not valid hex.
+    BadOperand {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTraceError::BadFieldCount { line } => {
+                write!(f, "line {line}: expected `MNEMONIC a b`")
+            }
+            ParseTraceError::UnknownOpcode { line, mnemonic } => {
+                write!(f, "line {line}: unknown opcode `{mnemonic}`")
+            }
+            ParseTraceError::BadOperand { line } => {
+                write!(f, "line {line}: operands must be hexadecimal")
+            }
+            ParseTraceError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseTraceError {
+    fn from(e: io::Error) -> Self {
+        ParseTraceError::Io(e)
+    }
+}
+
+/// Write a trace in the text format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(trace: &[Instruction], mut w: W) -> io::Result<()> {
+    writeln!(w, "# ntc-workload trace, {} instructions", trace.len())?;
+    for i in trace {
+        writeln!(w, "{} {:x} {:x}", i.opcode.mnemonic(), i.a, i.b)?;
+    }
+    Ok(())
+}
+
+/// Parse a trace from the text format.
+///
+/// # Errors
+///
+/// Returns the first malformed line or I/O failure.
+pub fn read_trace<R: BufRead>(r: R) -> Result<Vec<Instruction>, ParseTraceError> {
+    let mut out = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let body = line.split('#').next().unwrap_or("").trim();
+        if body.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = body.split_whitespace().collect();
+        if fields.len() != 3 {
+            return Err(ParseTraceError::BadFieldCount { line: line_no });
+        }
+        let opcode = ALL_OPCODES
+            .iter()
+            .copied()
+            .find(|o| o.mnemonic() == fields[0])
+            .ok_or_else(|| ParseTraceError::UnknownOpcode {
+                line: line_no,
+                mnemonic: fields[0].to_owned(),
+            })?;
+        let a = u64::from_str_radix(fields[1], 16)
+            .map_err(|_| ParseTraceError::BadOperand { line: line_no })?;
+        let b = u64::from_str_radix(fields[2], 16)
+            .map_err(|_| ParseTraceError::BadOperand { line: line_no })?;
+        out.push(Instruction::new(opcode, a, b));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Benchmark, TraceGenerator};
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let trace = TraceGenerator::new(Benchmark::Gap, 5).trace(500);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).expect("write to vec");
+        let parsed = read_trace(io::BufReader::new(&buf[..])).expect("parse back");
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\nADDU ff 1 # trailing comment\n  \nNOR 0 0\n";
+        let parsed = read_trace(io::BufReader::new(text.as_bytes())).expect("parse");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], Instruction::new(Opcode::Addu, 0xFF, 1));
+        assert_eq!(parsed[1], Instruction::new(Opcode::Nor, 0, 0));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = read_trace(io::BufReader::new("ADDU ff\n".as_bytes())).unwrap_err();
+        assert!(matches!(e, ParseTraceError::BadFieldCount { line: 1 }));
+        let e = read_trace(io::BufReader::new("\nFROB 1 2\n".as_bytes())).unwrap_err();
+        assert!(matches!(e, ParseTraceError::UnknownOpcode { line: 2, .. }));
+        let e = read_trace(io::BufReader::new("ADDU zz 1\n".as_bytes())).unwrap_err();
+        assert!(matches!(e, ParseTraceError::BadOperand { line: 1 }));
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = read_trace(io::BufReader::new("FROB 1 2".as_bytes())).unwrap_err();
+        let msg = format!("{e}");
+        assert!(msg.contains("FROB") && msg.contains("line 1"));
+    }
+}

@@ -1,0 +1,122 @@
+//! `chip-report` — inspect one fabricated die's choke signature.
+//!
+//! Usage:
+//!
+//! ```text
+//! chip_report [--seed N] [--width W] [--corner ntc|stc] [--paths K] [--verilog FILE]
+//! ```
+//!
+//! Fabricates a `W`-bit ALU as die `N` at the chosen corner and prints its
+//! post-silicon report: choke-gate census, critical-delay inflation, the K
+//! most-critical paths with their dominating gates, and the worst slack
+//! endpoints. Optionally dumps the netlist as structural Verilog.
+
+use ntc_choke::netlist::generators::alu::Alu;
+use ntc_choke::netlist::verilog;
+use ntc_choke::timing::{k_critical_paths, SlackReport, StaticTiming};
+use ntc_choke::varmodel::{ChipSignature, Corner, VariationParams};
+
+fn main() {
+    let mut seed = 1u64;
+    let mut width = 32usize;
+    let mut corner = Corner::NTC;
+    let mut k = 5usize;
+    let mut verilog_out: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--seed" => seed = value("--seed").parse().expect("numeric seed"),
+            "--width" => width = value("--width").parse().expect("numeric width"),
+            "--paths" => k = value("--paths").parse().expect("numeric path count"),
+            "--corner" => {
+                corner = match value("--corner").as_str() {
+                    "stc" | "STC" => Corner::STC,
+                    _ => Corner::NTC,
+                }
+            }
+            "--verilog" => verilog_out = Some(value("--verilog")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: chip_report [--seed N] [--width W] [--corner ntc|stc] \
+                     [--paths K] [--verilog FILE]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let alu = Alu::new(width);
+    let nl = alu.netlist();
+    let params = if corner.name == "STC" {
+        VariationParams::stc()
+    } else {
+        VariationParams::ntc()
+    };
+    let nominal = ChipSignature::nominal(nl, corner);
+    let chip = ChipSignature::fabricate(nl, corner, params, seed);
+
+    let d_nom = StaticTiming::analyze(nl, &nominal).critical_delay_ps(nl);
+    let d_pv = StaticTiming::analyze(nl, &chip).critical_delay_ps(nl);
+
+    println!("die {seed}: {width}-bit ALU at {corner}");
+    println!(
+        "  gates            : {} logic, depth {}",
+        nl.logic_gate_count(),
+        nl.max_depth()
+    );
+    println!("  nominal critical : {d_nom:.0} ps");
+    println!(
+        "  die critical     : {d_pv:.0} ps ({:.2}x nominal)",
+        d_pv / d_nom
+    );
+    let slow = chip.slow_choke_gates();
+    let fast = chip.fast_choke_gates();
+    let stats = chip.multiplier_stats(nl);
+    println!(
+        "  choke census     : {} slow (>= 2.0x), {} fast (<= 0.6x); multipliers {:.2}..{:.2} (mean {:.2})",
+        slow.len(),
+        fast.len(),
+        stats.min,
+        stats.max,
+        stats.mean
+    );
+
+    println!("\n  top {k} critical paths:");
+    for (i, p) in k_critical_paths(nl, &chip, k).iter().enumerate() {
+        let chokes = p.choke_gates(&chip, 2.0);
+        println!(
+            "   #{i}: {:.0} ps, {} gates, dominance {:.2}, {} choke gate(s) on path",
+            p.delay_ps,
+            p.depth(nl),
+            p.dominance(&chip),
+            chokes.len()
+        );
+    }
+
+    let period = d_nom * 1.10;
+    let report = SlackReport::analyze(nl, &chip, period);
+    println!(
+        "\n  at a {period:.0} ps clock: {} of {} endpoints violate setup (worst slack {:.0} ps)",
+        report.failing().count(),
+        nl.outputs().len(),
+        report.worst_slack_ps()
+    );
+
+    if let Some(path) = verilog_out {
+        let file = std::fs::File::create(&path).expect("create verilog file");
+        verilog::write_verilog(nl, "ntc_alu", std::io::BufWriter::new(file))
+            .expect("write verilog");
+        println!("\n  netlist written to {path}");
+    }
+}
