@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, full test suite, lint wall, and a smoke-run of
+# the reproduction binary. No network access required at any step.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release --offline --workspace"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> repro --fast fig3.4"
+./target/release/repro --fast fig3.4
+
+echo "==> CI OK"

@@ -1,6 +1,9 @@
 //! Bench: the Fig. 3.2 kernel — the Monte-Carlo choke study (dynamic
 //! two-vector timing over a fabricated ALU, CDL/CGL extraction).
-use criterion::{criterion_group, criterion_main, Criterion};
+use ntc_bench::harness as criterion;
+use ntc_bench::{criterion_group, criterion_main};
+
+use criterion::Criterion;
 use std::time::Duration;
 
 fn settings(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {

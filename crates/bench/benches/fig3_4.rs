@@ -1,6 +1,9 @@
 //! Bench: the Fig. 3.4 kernel — scheme-free error profiling of a vortex
 //! trace (per-opcode errant/error-free split).
-use criterion::{criterion_group, criterion_main, Criterion};
+use ntc_bench::harness as criterion;
+use ntc_bench::{criterion_group, criterion_main};
+
+use criterion::Criterion;
 use std::time::Duration;
 
 fn settings(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {

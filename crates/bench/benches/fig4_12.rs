@@ -1,5 +1,8 @@
 //! Bench: the Fig. 4.12 kernel — the Ch.4 energy accounting.
-use criterion::{criterion_group, criterion_main, Criterion};
+use ntc_bench::harness as criterion;
+use ntc_bench::{criterion_group, criterion_main};
+
+use criterion::Criterion;
 use std::time::Duration;
 
 fn settings(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {

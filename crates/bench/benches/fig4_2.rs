@@ -1,6 +1,9 @@
 //! Bench: the Fig. 4.2 kernel — buffered vs bufferless dynamic timing of
 //! one instruction pair under choke injection.
-use criterion::{criterion_group, criterion_main, Criterion};
+use ntc_bench::harness as criterion;
+use ntc_bench::{criterion_group, criterion_main};
+
+use criterion::Criterion;
 use std::time::Duration;
 
 fn settings(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {

@@ -1,6 +1,9 @@
 //! Bench: the Section 3.5.6 kernel — gate-level synthesis of the DCS
 //! hardware for the overhead table.
-use criterion::{criterion_group, criterion_main, Criterion};
+use ntc_bench::harness as criterion;
+use ntc_bench::{criterion_group, criterion_main};
+
+use criterion::Criterion;
 use std::time::Duration;
 
 fn settings(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {

@@ -1,6 +1,9 @@
 //! Bench: substrate kernels — netlist generation, chip fabrication,
 //! static timing, gate-level evaluation.
-use criterion::{criterion_group, criterion_main, Criterion};
+use ntc_bench::harness as criterion;
+use ntc_bench::{criterion_group, criterion_main};
+
+use criterion::Criterion;
 use std::time::Duration;
 
 fn settings(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {

@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use ntc_core::tag_delay::{OracleConfig, TagDelayOracle};
 use ntc_isa::Instruction;
 use ntc_timing::ClockSpec;

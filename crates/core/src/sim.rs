@@ -10,7 +10,7 @@ use ntc_timing::{classify_stream, ClockSpec, ErrorClass};
 use std::collections::HashMap;
 
 /// Result of running one scheme over one trace on one chip.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// The scheme's display name.
     pub scheme: &'static str,
@@ -256,7 +256,7 @@ mod tests {
     use ntc_workload::{Benchmark, TraceGenerator};
 
     fn setup() -> (TagDelayOracle, Vec<Instruction>, ClockSpec) {
-        let mut oracle = TagDelayOracle::for_chip(
+        let oracle = TagDelayOracle::for_chip(
             Corner::NTC,
             VariationParams::ntc(),
             5,

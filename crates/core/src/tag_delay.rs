@@ -24,8 +24,33 @@ use ntc_netlist::generators::alu::Alu;
 use ntc_netlist::Netlist;
 use ntc_timing::DynamicSim;
 use ntc_varmodel::{ChipSignature, Corner};
-use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Key of one entry in a [`SharedDelayCache`]: the tag plus the *full
+/// operand words* of both instructions.
+///
+/// The shared table deliberately uses a finer key than the per-oracle
+/// `(tag, bucket)` cache. A bucket aliases many operand pairs, so a
+/// `(tag, bucket)` entry is path-dependent — it holds the delays of
+/// whichever pair a given oracle happened to simulate first, which is part
+/// of the modeled within-tag diversity and must stay private to each
+/// oracle. The full-operand key, by contrast, pins down the gate-level
+/// simulation inputs exactly, making the entry a pure function of the
+/// chip: safe to share across experiments and threads.
+pub type SharedDelayKey = (ErrorTag, u64, u64, u64, u64);
+
+/// A delay table shared between oracles bound to the *same* fabricated
+/// chip (same netlist + signature), so experiments replaying the same
+/// instruction pairs reuse each other's Phase-A gate simulations instead
+/// of repeating them.
+///
+/// Sharing is sound because a [`SharedDelayKey`] entry is a pure function
+/// of the chip: whichever oracle simulates it first stores exactly the
+/// value every other oracle would have computed from the same pair.
+/// Results are therefore bit-identical with or without a shared cache, at
+/// any thread count — only the number of gate-level simulations changes.
+pub type SharedDelayCache = Arc<Mutex<HashMap<SharedDelayKey, CycleDelays>>>;
 
 /// Min/max sensitized delay of one simulated cycle, picoseconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,6 +86,7 @@ pub struct TagDelayOracle {
     width: usize,
     config: OracleConfig,
     cache: HashMap<(ErrorTag, u32), CycleDelays>,
+    shared: Option<SharedDelayCache>,
     gate_sims: u64,
 }
 
@@ -111,8 +137,19 @@ impl TagDelayOracle {
             width,
             config,
             cache: HashMap::new(),
+            shared: None,
             gate_sims: 0,
         }
+    }
+
+    /// Attach a [`SharedDelayCache`]: misses in the local table consult
+    /// (and populate) the shared one before falling back to gate-level
+    /// simulation. The cache must belong to the same fabricated chip —
+    /// the caller owns that invariant, typically by storing the cache
+    /// alongside the memoized netlist/signature pair.
+    pub fn with_shared_cache(mut self, cache: SharedDelayCache) -> Self {
+        self.shared = Some(cache);
+        self
     }
 
     /// The nominal (PV-free) critical delay of this oracle's netlist at its
@@ -135,20 +172,41 @@ impl TagDelayOracle {
     pub fn delays(&mut self, prev: &Instruction, cur: &Instruction) -> CycleDelays {
         let tag = ErrorTag::of(prev, cur);
         let bucket = operand_bucket(prev, cur, self.config.buckets_per_tag);
-        match self.cache.entry((tag, bucket)) {
-            Entry::Occupied(e) => *e.get(),
-            Entry::Vacant(e) => {
-                let init = encode(&self.netlist, self.width, prev);
-                let sens = encode(&self.netlist, self.width, cur);
-                let mut sim = DynamicSim::new(&self.netlist, &self.signature);
-                let t = sim.simulate_pair(&init, &sens);
-                self.gate_sims += 1;
-                *e.insert(CycleDelays {
-                    min_ps: t.min_delay_ps,
-                    max_ps: t.max_delay_ps,
-                })
+        let key = (tag, bucket);
+        if let Some(d) = self.cache.get(&key) {
+            return *d;
+        }
+        // On a local miss the old path would simulate (prev, cur) exactly;
+        // a shared hit under the full-operand key returns precisely that
+        // simulation's result, so behaviour is unchanged by sharing.
+        let full: SharedDelayKey = (tag, prev.a, prev.b, cur.a, cur.b);
+        if let Some(shared) = &self.shared {
+            let hit = shared.lock().expect("delay cache poisoned").get(&full).copied();
+            if let Some(d) = hit {
+                self.cache.insert(key, d);
+                return d;
             }
         }
+        let init = encode(&self.netlist, self.width, prev);
+        let sens = encode(&self.netlist, self.width, cur);
+        let mut sim = DynamicSim::new(&self.netlist, &self.signature);
+        let t = sim.simulate_pair(&init, &sens);
+        self.gate_sims += 1;
+        let d = CycleDelays {
+            min_ps: t.min_delay_ps,
+            max_ps: t.max_delay_ps,
+        };
+        self.cache.insert(key, d);
+        if let Some(shared) = &self.shared {
+            // Keep the first writer's entry on a race: the values are
+            // identical anyway (pure function of the chip).
+            shared
+                .lock()
+                .expect("delay cache poisoned")
+                .entry(full)
+                .or_insert(d);
+        }
+        d
     }
 
     /// Number of gate-level simulations run so far (Phase-A cost).
@@ -260,6 +318,40 @@ mod tests {
         let d2 = o.nominal_critical_delay_ps();
         assert!(d1 > 0.0);
         assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn shared_cache_matches_fresh_oracle_and_skips_simulation() {
+        let mut fresh = oracle();
+        let shared: SharedDelayCache = Default::default();
+        let mut warm = TagDelayOracle::for_chip(
+            Corner::NTC,
+            VariationParams::ntc(),
+            11,
+            OracleConfig::default(),
+        )
+        .with_shared_cache(shared.clone());
+        let mut reader = TagDelayOracle::for_chip(
+            Corner::NTC,
+            VariationParams::ntc(),
+            11,
+            OracleConfig::default(),
+        )
+        .with_shared_cache(shared);
+        let pairs = [
+            (Instruction::new(Opcode::Addu, 0, 0), Instruction::new(Opcode::Addu, u64::MAX, 1)),
+            (Instruction::new(Opcode::Mult, 3, 9), Instruction::new(Opcode::Xor, 0xF0F0, 0x0F0F)),
+            (Instruction::new(Opcode::Sllv, 1, 7), Instruction::new(Opcode::Srav, 0x8000, 4)),
+        ];
+        for (p, c) in &pairs {
+            assert_eq!(warm.delays(p, c), fresh.delays(p, c));
+        }
+        // The second shared-cache oracle answers every query without a
+        // single gate-level simulation of its own.
+        for (p, c) in &pairs {
+            assert_eq!(reader.delays(p, c), fresh.delays(p, c));
+        }
+        assert_eq!(reader.gate_sim_count(), 0, "all hits came from the shared table");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //!   constraint) vs the number of min-side errors that exist to be caught.
 
 use crate::config::{build_oracle, Scale, CH3_REGIME, CH4_REGIME};
+use crate::runner::{sweep, sweep_over};
 use crate::table::ResultTable;
 use ntc_core::scheme::{CycleContext, CycleOutcome, ResilienceScheme};
 use ntc_core::sim::{profile_errors, run_scheme};
@@ -145,19 +146,35 @@ pub fn tag_granularity(scale: Scale) -> ResultTable {
         ["accuracy", "fp/1k"],
     );
     let names = ["opcode", "opcode+OWM", "opcode-pair", "full-4-part"];
+    // Full (mode × benchmark × chip) grid in one sweep; the per-mode sums
+    // below fold cells in the old nested-loop order, so the averages are
+    // bit-identical at any thread count.
+    let grid: Vec<(usize, Benchmark, usize)> = (0..names.len())
+        .flat_map(|mode| {
+            [Benchmark::Gzip, Benchmark::Vortex]
+                .into_iter()
+                .flat_map(move |bench| (0..scale.chips()).map(move |chip| (mode, bench, chip)))
+        })
+        .collect();
+    let cells = sweep_over(&grid, |_, &(mode, bench, chip)| {
+        let mut oracle = build_oracle(Corner::NTC, 900 + chip as u64, false, CH3_REGIME);
+        let clock = ablation_clock(&oracle);
+        let trace = TraceGenerator::new(bench, 3).trace(scale.cycles() / 2);
+        let mut scheme = AblatedDcs::new(mode, Policy::PseudoLru, 128);
+        let r = run_scheme(&mut scheme, &mut oracle, &trace, clock, Pipeline::core1());
+        (
+            r.prediction_accuracy(),
+            1000.0 * r.false_positives as f64 / trace.len() as f64,
+        )
+    });
     for (mode, name) in names.iter().enumerate() {
         let mut acc = 0.0;
         let mut fp = 0.0;
         let mut runs = 0.0;
-        for bench in [Benchmark::Gzip, Benchmark::Vortex] {
-            for chip in 0..scale.chips() {
-                let mut oracle = build_oracle(Corner::NTC, 900 + chip as u64, false, CH3_REGIME);
-                let clock = ablation_clock(&oracle);
-                let trace = TraceGenerator::new(bench, 3).trace(scale.cycles() / 2);
-                let mut scheme = AblatedDcs::new(mode, Policy::PseudoLru, 128);
-                let r = run_scheme(&mut scheme, &mut oracle, &trace, clock, Pipeline::core1());
-                acc += r.prediction_accuracy();
-                fp += 1000.0 * r.false_positives as f64 / trace.len() as f64;
+        for ((m, _, _), &(a, f)) in grid.iter().zip(&cells) {
+            if *m == mode {
+                acc += a;
+                fp += f;
                 runs += 1.0;
             }
         }
@@ -174,21 +191,30 @@ pub fn replacement_policy(scale: Scale) -> ResultTable {
         "CSLT replacement policy: prediction accuracy (%) at 32 entries",
         ["accuracy"],
     );
-    for (policy, name) in [
+    let policies = [
         (Policy::PseudoLru, "pseudo-LRU"),
         (Policy::Fifo, "FIFO"),
         (Policy::Random, "random"),
-    ] {
+    ];
+    let grid: Vec<(Policy, usize)> = policies
+        .iter()
+        .flat_map(|&(policy, _)| (0..scale.chips()).map(move |chip| (policy, chip)))
+        .collect();
+    let cells = sweep_over(&grid, |_, &(policy, chip)| {
+        let mut oracle = build_oracle(Corner::NTC, 950 + chip as u64, false, CH3_REGIME);
+        let clock = ablation_clock(&oracle);
+        let trace = TraceGenerator::new(Benchmark::Vortex, 5).trace(scale.cycles());
+        let mut scheme = AblatedDcs::new(3, policy, 32);
+        run_scheme(&mut scheme, &mut oracle, &trace, clock, Pipeline::core1()).prediction_accuracy()
+    });
+    for (policy, name) in policies {
         let mut acc = 0.0;
         let mut runs = 0.0;
-        for chip in 0..scale.chips() {
-            let mut oracle = build_oracle(Corner::NTC, 950 + chip as u64, false, CH3_REGIME);
-            let clock = ablation_clock(&oracle);
-            let trace = TraceGenerator::new(Benchmark::Vortex, 5).trace(scale.cycles());
-            let mut scheme = AblatedDcs::new(3, policy, 32);
-            let r = run_scheme(&mut scheme, &mut oracle, &trace, clock, Pipeline::core1());
-            acc += r.prediction_accuracy();
-            runs += 1.0;
+        for ((p, _), a) in grid.iter().zip(&cells) {
+            if *p == policy {
+                acc += a;
+                runs += 1.0;
+            }
         }
         t.push_row(name, vec![acc / runs]);
     }
@@ -203,25 +229,42 @@ pub fn detection_window(scale: Scale) -> ResultTable {
         "Hold-window width vs error population (per 1k cycles)",
         ["SE(Min)/1k", "SE(Max)/1k", "CE/1k"],
     );
-    for frac in [0.08f64, 0.11, 0.14, 0.17, 0.20] {
+    let fracs = [0.08f64, 0.11, 0.14, 0.17, 0.20];
+    let grid: Vec<(f64, usize)> = fracs
+        .iter()
+        .flat_map(|&frac| (0..scale.chips()).map(move |chip| (frac, chip)))
+        .collect();
+    let cells = sweep_over(&grid, |_, &(frac, chip)| {
+        // The bufferless (Trident-context) netlist: the guard interval
+        // trades detector safety margin against the min-error
+        // population the scheme must then avoid.
+        let mut oracle = build_oracle(Corner::NTC, 970 + chip as u64, false, CH4_REGIME);
+        let nominal = oracle.nominal_critical_delay_ps();
+        let clock = ClockSpec {
+            period_ps: nominal * CH4_REGIME.period_frac,
+            hold_ps: nominal * frac,
+        };
+        let trace = TraceGenerator::new(Benchmark::Gap, 9).trace(scale.cycles() / 2);
+        let p = profile_errors(&mut oracle, &trace, clock);
+        (
+            [
+                p.class_count(ErrorClass::SingleMin) as f64,
+                p.class_count(ErrorClass::SingleMax) as f64,
+                p.class_count(ErrorClass::Consecutive) as f64,
+            ],
+            p.cycles as f64,
+        )
+    });
+    for &frac in &fracs {
         let mut counts = [0.0f64; 3];
         let mut cycles = 0.0;
-        for chip in 0..scale.chips() {
-            // The bufferless (Trident-context) netlist: the guard interval
-            // trades detector safety margin against the min-error
-            // population the scheme must then avoid.
-            let mut oracle = build_oracle(Corner::NTC, 970 + chip as u64, false, CH4_REGIME);
-            let nominal = oracle.nominal_critical_delay_ps();
-            let clock = ClockSpec {
-                period_ps: nominal * CH4_REGIME.period_frac,
-                hold_ps: nominal * frac,
-            };
-            let trace = TraceGenerator::new(Benchmark::Gap, 9).trace(scale.cycles() / 2);
-            let p = profile_errors(&mut oracle, &trace, clock);
-            counts[0] += p.class_count(ErrorClass::SingleMin) as f64;
-            counts[1] += p.class_count(ErrorClass::SingleMax) as f64;
-            counts[2] += p.class_count(ErrorClass::Consecutive) as f64;
-            cycles += p.cycles as f64;
+        for ((f, _), (cell_counts, cell_cycles)) in grid.iter().zip(&cells) {
+            if *f == frac {
+                for k in 0..3 {
+                    counts[k] += cell_counts[k];
+                }
+                cycles += cell_cycles;
+            }
         }
         t.push_row(
             format!("hold={:.1}%", frac * 100.0),
@@ -241,8 +284,7 @@ pub fn adder_architecture(scale: Scale) -> ResultTable {
     use ntc_netlist::Builder;
     use ntc_timing::{DynamicSim, StaticTiming};
     use ntc_varmodel::{ChipSignature, VariationParams};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use ntc_varmodel::rng::SplitMix64;
 
     let width = 32;
     let build = |kind: u8| {
@@ -270,16 +312,17 @@ pub fn adder_architecture(scale: Scale) -> ResultTable {
         let nl = build(kind);
         let nominal = ChipSignature::nominal(&nl, Corner::NTC);
         let d_nom = StaticTiming::analyze(&nl, &nominal).critical_delay_ps(&nl);
-        let mut worst_static: f64 = 0.0;
-        let mut worst_dyn: f64 = 0.0;
-        let mut rng = StdRng::seed_from_u64(77);
+        let mut rng = SplitMix64::seed_from_u64(77);
         let vectors: Vec<(u64, u64)> = (0..scale.circuit_samples())
-            .map(|_| (rng.gen::<u64>() & 0xFFFF_FFFF, rng.gen::<u64>() & 0xFFFF_FFFF))
+            .map(|_| (rng.gen_u64() & 0xFFFF_FFFF, rng.gen_u64() & 0xFFFF_FFFF))
             .collect();
-        for chip in 0..chips {
+        // One sweep task per fabricated chip; per-chip worst cases merge
+        // with max — order-independent, hence bit-identical at any thread
+        // count.
+        let per_chip = sweep(chips, |chip| {
             let sig = ChipSignature::fabricate(&nl, Corner::NTC, VariationParams::ntc(), chip as u64);
-            worst_static =
-                worst_static.max(StaticTiming::analyze(&nl, &sig).critical_delay_ps(&nl) / d_nom);
+            let chip_static = StaticTiming::analyze(&nl, &sig).critical_delay_ps(&nl) / d_nom;
+            let mut chip_dyn: f64 = 0.0;
             let mut sim = DynamicSim::new(&nl, &sig);
             let encode = |a: u64, x: u64| {
                 let mut pis: Vec<bool> = (0..width).map(|i| (a >> i) & 1 == 1).collect();
@@ -290,9 +333,16 @@ pub fn adder_architecture(scale: Scale) -> ResultTable {
             for &(a, x) in &vectors {
                 let timing = sim.simulate_pair(&encode(0, 0), &encode(a, x));
                 if let Some(d) = timing.max_delay_ps {
-                    worst_dyn = worst_dyn.max(100.0 * (d - d_nom) / d_nom);
+                    chip_dyn = chip_dyn.max(100.0 * (d - d_nom) / d_nom);
                 }
             }
+            (chip_static, chip_dyn)
+        });
+        let mut worst_static: f64 = 0.0;
+        let mut worst_dyn: f64 = 0.0;
+        for (s, d) in per_chip {
+            worst_static = worst_static.max(s);
+            worst_dyn = worst_dyn.max(d);
         }
         t.push_row(
             name,

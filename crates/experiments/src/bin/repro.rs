@@ -3,15 +3,17 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--full] [--out DIR] [ID ...]
+//! repro [--full] [--jobs N] [--out DIR] [ID ...]
 //! ```
 //!
 //! With no IDs, the whole suite runs. `--full` switches to paper-scale
 //! parameters (million-cycle traces); the default fast scale keeps the run
-//! laptop-friendly. Tables print to stdout and CSVs land in `--out`
-//! (default `target/repro`).
+//! laptop-friendly. `--jobs N` (or the `NTC_JOBS` environment variable)
+//! pins the sweep-engine thread count — results are bit-identical at any
+//! value, only the wall clock changes. Tables print to stdout and CSVs
+//! land in `--out` (default `target/repro`).
 
-use ntc_experiments::{all_experiments, Scale};
+use ntc_experiments::{all_experiments, runner, Scale};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -24,6 +26,17 @@ fn main() {
         match arg.as_str() {
             "--full" => scale = Scale::Full,
             "--fast" => scale = Scale::Fast,
+            "--jobs" | "-j" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.trim().parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--jobs requires a positive integer");
+                        std::process::exit(2);
+                    });
+                runner::set_jobs(n);
+            }
             "--out" => {
                 out = PathBuf::from(args.next().unwrap_or_else(|| {
                     eprintln!("--out requires a directory");
@@ -37,7 +50,7 @@ fn main() {
                 return;
             }
             "--help" | "-h" => {
-                println!("usage: repro [--full] [--out DIR] [--list] [ID ...]");
+                println!("usage: repro [--full] [--jobs N] [--out DIR] [--list] [ID ...]");
                 return;
             }
             id => selected.push(id.to_owned()),
@@ -55,17 +68,27 @@ fn main() {
     }
 
     println!(
-        "# ntc-choke reproduction suite — {} experiment(s), {:?} scale\n",
+        "# ntc-choke reproduction suite — {} experiment(s), {:?} scale, {} job(s)\n",
         to_run.len(),
-        scale
+        scale,
+        runner::jobs()
     );
-    for (id, runner) in to_run {
+    for (id, run) in to_run {
+        let _ = runner::take_stats(); // drain any leftover sweep counters
         let start = Instant::now();
-        let table = runner(scale);
+        let table = run(scale);
         let elapsed = start.elapsed();
+        let speedup = runner::take_stats()
+            .speedup()
+            .map(|s| format!(", sweep speedup {s:.2}x"))
+            .unwrap_or_default();
         println!("{table}");
         match table.save_csv(&out) {
-            Ok(path) => println!("[{id}] {:.1}s → {}\n", elapsed.as_secs_f64(), path.display()),
+            Ok(path) => println!(
+                "[{id}] {:.1}s{speedup} → {}\n",
+                elapsed.as_secs_f64(),
+                path.display()
+            ),
             Err(e) => eprintln!("[{id}] failed to write CSV: {e}"),
         }
     }

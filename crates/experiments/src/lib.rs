@@ -29,13 +29,18 @@ pub mod ch3;
 pub mod ch4;
 pub mod config;
 pub mod extensions;
+pub mod runner;
 pub mod table;
 
 pub use config::{build_oracle, normalize_to_first, ClockRegime, Scale, CH3_REGIME, CH4_REGIME};
+pub use runner::{set_jobs, sweep, sweep_over, take_stats, SweepStats};
 pub use table::ResultTable;
 
+/// One named experiment: its figure/table id and scale-parametric runner.
+pub type Experiment = (&'static str, fn(Scale) -> ResultTable);
+
 /// Every experiment in the suite: `(id, runner)` pairs, in paper order.
-pub fn all_experiments() -> Vec<(&'static str, fn(Scale) -> ResultTable)> {
+pub fn all_experiments() -> Vec<Experiment> {
     vec![
         ("fig3.2a", |s| ch3::fig_3_2(ntc_varmodel::Corner::STC, s)),
         ("fig3.2b", |s| ch3::fig_3_2(ntc_varmodel::Corner::NTC, s)),

@@ -1,0 +1,243 @@
+//! Deterministic work-stealing parallel sweep engine.
+//!
+//! Every experiment in the suite is a Monte-Carlo sweep over independent,
+//! seeded units of work — fabricated chips, (benchmark × chip) cells,
+//! supply-voltage points. This module runs such sweeps across threads with
+//! a hard determinism contract:
+//!
+//! > **The output of [`sweep`] is bit-identical to the sequential loop,
+//! > regardless of thread count.**
+//!
+//! The contract holds by construction: task `i` computes `f(i)` from its
+//! index alone (all experiment randomness is seeded per index), workers
+//! claim indices from a shared atomic counter (work stealing without
+//! queues), and results are written back into slot `i` before the sweep
+//! returns a plain index-ordered `Vec`. Scheduling order can never leak
+//! into the result — only into the wall clock. Reductions that are
+//! order-sensitive (floating-point sums, running averages) therefore stay
+//! exactly as reproducible as the old `for` loops: they fold the returned
+//! `Vec` in index order on the calling thread.
+//!
+//! Thread count resolution, in priority order: [`set_jobs`] (the `--jobs`
+//! flag), the `NTC_JOBS` environment variable, then the machine's
+//! available parallelism. One job means the sweep runs inline on the
+//! calling thread with zero overhead.
+//!
+//! The engine keeps global busy/wall counters so callers (the `repro`
+//! binary) can report the effective speedup of each experiment; see
+//! [`take_stats`].
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Explicit thread-count override; 0 = unset.
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+/// Cumulative worker-busy time across sweeps, nanoseconds.
+static BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
+/// Cumulative sweep wall-clock time, nanoseconds.
+static WALL_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// Force the number of worker threads for all subsequent sweeps
+/// (`--jobs N`). Pass 0 to clear the override and fall back to `NTC_JOBS`
+/// / the machine's parallelism.
+pub fn set_jobs(n: usize) {
+    JOBS_OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// The number of worker threads a sweep will use: the [`set_jobs`]
+/// override, else `NTC_JOBS`, else the machine's available parallelism.
+pub fn jobs() -> usize {
+    let explicit = JOBS_OVERRIDE.load(Ordering::SeqCst);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Ok(v) = std::env::var("NTC_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Busy/wall accounting for the sweeps run since the last [`take_stats`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepStats {
+    /// Total worker-busy time summed over all threads.
+    pub busy: Duration,
+    /// Total sweep wall-clock time.
+    pub wall: Duration,
+}
+
+impl SweepStats {
+    /// Effective speedup (busy / wall): ≈1 sequentially, →jobs when the
+    /// sweep scales. `None` when no sweep ran.
+    pub fn speedup(&self) -> Option<f64> {
+        (self.wall > Duration::ZERO).then(|| self.busy.as_secs_f64() / self.wall.as_secs_f64())
+    }
+}
+
+/// Drain and reset the global sweep counters. The `repro` binary calls
+/// this per experiment to report each table's effective speedup.
+pub fn take_stats() -> SweepStats {
+    SweepStats {
+        busy: Duration::from_nanos(BUSY_NANOS.swap(0, Ordering::SeqCst)),
+        wall: Duration::from_nanos(WALL_NANOS.swap(0, Ordering::SeqCst)),
+    }
+}
+
+/// Run `f(0), f(1), …, f(n-1)` across worker threads and return the
+/// results in index order — bit-identical to the sequential loop for any
+/// thread count (see the module docs for why).
+///
+/// A panic in any task propagates to the caller after the scope joins.
+pub fn sweep<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let wall_start = Instant::now();
+    let workers = jobs().min(n);
+    let out = if workers <= 1 {
+        // Inline fast path: identical semantics, zero thread overhead.
+        let busy_start = Instant::now();
+        let out: Vec<T> = (0..n).map(&f).collect();
+        BUSY_NANOS.fetch_add(busy_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        out
+    } else {
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let f = &f;
+                    s.spawn(move || {
+                        let busy_start = Instant::now();
+                        let mut local: Vec<(usize, T)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, f(i)));
+                        }
+                        (local, busy_start.elapsed())
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok((local, busy)) => {
+                        BUSY_NANOS.fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+                        for (i, t) in local {
+                            slots[i] = Some(t);
+                        }
+                    }
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index claimed exactly once"))
+            .collect()
+    };
+    WALL_NANOS.fetch_add(wall_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    out
+}
+
+/// Keyed sweep over an explicit work list — the (chip × benchmark ×
+/// scheme) grid variant. `f` receives the index and the key; results come
+/// back in key order.
+pub fn sweep_over<K, T, F>(keys: &[K], f: F) -> Vec<T>
+where
+    K: Sync,
+    T: Send,
+    F: Fn(usize, &K) -> T + Sync,
+{
+    sweep(keys.len(), |i| f(i, &keys[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialize tests that toggle the global jobs override.
+    static JOBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn results_are_in_index_order_for_any_thread_count() {
+        let _guard = JOBS_LOCK.lock().unwrap();
+        let expect: Vec<usize> = (0..97).map(|i| i * i).collect();
+        for jobs in [1, 2, 8] {
+            set_jobs(jobs);
+            assert_eq!(sweep(97, |i| i * i), expect, "jobs={jobs}");
+        }
+        set_jobs(0);
+    }
+
+    #[test]
+    fn parallel_output_is_bit_identical_to_sequential() {
+        let _guard = JOBS_LOCK.lock().unwrap();
+        // Per-index seeded RNG streams — the shape every experiment uses.
+        let run = || {
+            sweep(24, |i| {
+                let mut rng = ntc_varmodel::SplitMix64::seed_from_u64(100 + i as u64);
+                (0..256).map(|_| rng.gen_f64()).sum::<f64>()
+            })
+        };
+        set_jobs(1);
+        let sequential = run();
+        set_jobs(8);
+        let parallel = run();
+        set_jobs(0);
+        assert!(
+            sequential
+                .iter()
+                .zip(&parallel)
+                .all(|(a, b)| a.to_bits() == b.to_bits()),
+            "bit-identical across thread counts"
+        );
+    }
+
+    #[test]
+    fn keyed_sweep_preserves_key_order() {
+        let _guard = JOBS_LOCK.lock().unwrap();
+        set_jobs(4);
+        let keys = ["a", "bb", "ccc", "dddd", "eeeee"];
+        let lens = sweep_over(&keys, |i, k| (i, k.len()));
+        set_jobs(0);
+        assert_eq!(lens, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+    }
+
+    #[test]
+    fn empty_and_singleton_sweeps() {
+        let empty: Vec<u8> = sweep(0, |_| unreachable!());
+        assert!(empty.is_empty());
+        assert_eq!(sweep(1, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn stats_accumulate_and_drain() {
+        let _ = take_stats();
+        let _ = sweep(4, |i| std::hint::black_box(i * 2));
+        let stats = take_stats();
+        assert!(stats.wall > Duration::ZERO);
+        assert!(stats.busy > Duration::ZERO);
+        let drained = take_stats();
+        assert_eq!(drained.wall, Duration::ZERO);
+    }
+
+    #[test]
+    fn jobs_resolution_priority() {
+        let _guard = JOBS_LOCK.lock().unwrap();
+        set_jobs(3);
+        assert_eq!(jobs(), 3);
+        set_jobs(0);
+        assert!(jobs() >= 1);
+    }
+}

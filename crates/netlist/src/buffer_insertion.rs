@@ -270,7 +270,7 @@ pub fn nominal_min_arrivals(nl: &Netlist) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::generators::alu::{Alu, AluFunc, ALL_ALU_FUNCS};
+    use crate::generators::alu::{Alu, ALL_ALU_FUNCS};
 
     fn alu8_bounds() -> (f64, f64) {
         let alu = Alu::new(8);

@@ -78,7 +78,7 @@ impl ExStage {
         pis.extend((0..4).map(|i| (code >> i) & 1 == 1));
         pis.extend((0..w).map(|i| (a >> i) & 1 == 1));
         pis.extend((0..w).map(|i| (b >> i) & 1 == 1));
-        pis.extend(std::iter::repeat(false).take(2 * w)); // fwd buses idle
+        pis.extend(std::iter::repeat_n(false, 2 * w)); // fwd buses idle
         pis.push(false); // bypass_a
         pis.push(false); // bypass_b
         pis
@@ -120,7 +120,7 @@ mod tests {
         // a=0, b=0 registered; forwarded a=5, b=7; bypass both; ADD -> 12.
         let mut pis = Vec::new();
         pis.extend((0..4).map(|i| (AluFunc::Add.select_code() >> i) & 1 == 1));
-        pis.extend(std::iter::repeat(false).take(2 * w)); // a, b regs = 0
+        pis.extend(std::iter::repeat_n(false, 2 * w)); // a, b regs = 0
         pis.extend((0..w).map(|i| (5u64 >> i) & 1 == 1)); // fwd_a
         pis.extend((0..w).map(|i| (7u64 >> i) & 1 == 1)); // fwd_b
         pis.push(true); // bypass_a

@@ -259,7 +259,7 @@ pub fn synth_bloom_filter(name: &str, bits: usize, hashes: usize) -> HardwareRep
     let mut hit_terms = Vec::with_capacity(hashes);
     for h in 0..hashes {
         // Hash network: XOR-fold the tag down to index_bits.
-        let mut folded: Vec<_> = tag.iter().copied().collect();
+        let mut folded = tag.to_vec();
         while folded.len() > index_bits {
             let a = folded.remove(0);
             let last = folded.len() - 1;

@@ -177,6 +177,21 @@ impl CdlCglProfile {
         self.max_cdl_pct = self.max_cdl_pct.max(ev.cdl_pct);
         self.events += 1;
     }
+
+    /// Fold another profile into this one — the parallel-sweep reduction:
+    /// per-category minimum CGL, overall maximum CDL, summed event count.
+    /// All three folds are commutative and exact (no floating-point
+    /// accumulation), so merge order cannot change the result.
+    pub fn merge(&mut self, other: &CdlCglProfile) {
+        for (slot, o) in self.min_cgl_pct.iter_mut().zip(&other.min_cgl_pct) {
+            *slot = match (*slot, *o) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        self.max_cdl_pct = self.max_cdl_pct.max(other.max_cdl_pct);
+        self.events += other.events;
+    }
 }
 
 #[cfg(test)]

@@ -381,8 +381,8 @@ mod tests {
         let timing = sim.simulate_pair(&[false], &[true]);
         // Output starts 0, pulses to 1, falls back to 0: two transitions.
         assert_eq!(timing.outputs[0].transitions.len(), 2);
-        assert_eq!(timing.outputs[0].initial, false);
-        assert_eq!(timing.outputs[0].final_value, false);
+        assert!(!timing.outputs[0].initial);
+        assert!(!timing.outputs[0].final_value);
         let rise = timing.outputs[0].transitions[0];
         let fall = timing.outputs[0].transitions[1];
         assert!(fall > rise);
@@ -419,7 +419,7 @@ mod tests {
         assert!(w.toggles.len() <= MAX_EVENTS_PER_NET);
         assert!(w.truncated);
         // 40 toggles => even => final value equals init.
-        assert_eq!(w.final_value(), false);
+        assert!(!w.final_value());
         assert_eq!(w.toggles[0], 0.0);
         assert_eq!(*w.toggles.last().expect("nonempty"), 39.0);
     }

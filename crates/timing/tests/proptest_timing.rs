@@ -1,107 +1,129 @@
-//! Property-based tests for the timing analyses: structural invariants
-//! that must hold for arbitrary stimuli and fabrication draws.
+//! Randomized tests for the timing analyses: structural invariants that
+//! must hold for arbitrary stimuli and fabrication draws.
+//!
+//! Formerly `proptest`-based; rewritten as seeded deterministic sweeps
+//! (fixed-seed [`SplitMix64`] streams) so the workspace builds with zero
+//! registry dependencies and every failure reproduces exactly.
 
 use ntc_netlist::generators::alu::{Alu, AluFunc, ALL_ALU_FUNCS};
 use ntc_timing::{k_critical_paths, DynamicSim, StaticTiming};
+use ntc_varmodel::rng::SplitMix64;
 use ntc_varmodel::{ChipSignature, Corner, VariationParams};
-use proptest::prelude::*;
 
 fn alu8() -> Alu {
     Alu::new(8)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn pick_func(rng: &mut SplitMix64) -> AluFunc {
+    ALL_ALU_FUNCS[rng.gen_index(ALL_ALU_FUNCS.len())]
+}
 
-    /// The dynamic simulator's settled state always equals combinational
-    /// evaluation, regardless of the vector pair or the chip drawn.
-    #[test]
-    fn dynamic_final_state_matches_eval(
-        seed in 0u64..64,
-        f1 in 0usize..13, a1 in any::<u8>(), b1 in any::<u8>(),
-        f2 in 0usize..13, a2 in any::<u8>(), b2 in any::<u8>(),
-    ) {
-        let alu = alu8();
-        let sig = ChipSignature::fabricate(alu.netlist(), Corner::NTC, VariationParams::ntc(), seed);
+/// The dynamic simulator's settled state always equals combinational
+/// evaluation, regardless of the vector pair or the chip drawn.
+#[test]
+fn dynamic_final_state_matches_eval() {
+    let alu = alu8();
+    let mut rng = SplitMix64::seed_from_u64(0x71AE_0001);
+    for case in 0..48 {
+        let seed = rng.gen_u64() % 64;
+        let sig =
+            ChipSignature::fabricate(alu.netlist(), Corner::NTC, VariationParams::ntc(), seed);
         let mut sim = DynamicSim::new(alu.netlist(), &sig);
-        let init = alu.encode(ALL_ALU_FUNCS[f1], a1 as u64, b1 as u64);
-        let sens = alu.encode(ALL_ALU_FUNCS[f2], a2 as u64, b2 as u64);
+        let init = alu.encode(pick_func(&mut rng), rng.gen_u64() & 0xFF, rng.gen_u64() & 0xFF);
+        let sens_f = pick_func(&mut rng);
+        let (a2, b2) = (rng.gen_u64() & 0xFF, rng.gen_u64() & 0xFF);
+        let sens = alu.encode(sens_f, a2, b2);
         let t = sim.simulate_pair(&init, &sens);
         let expect = alu.netlist().eval(&sens);
         let got: Vec<bool> = t.outputs.iter().map(|o| o.final_value).collect();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect, "case {case} chip {seed} {sens_f:?} a={a2} b={b2}");
     }
+}
 
-    /// Dynamic sensitized delays never exceed the static critical delay
-    /// (static analysis assumes every path sensitizable).
-    #[test]
-    fn dynamic_bounded_by_static(
-        seed in 0u64..32,
-        f in 0usize..13, a in any::<u8>(), b in any::<u8>(),
-    ) {
-        let alu = alu8();
-        let sig = ChipSignature::fabricate(alu.netlist(), Corner::NTC, VariationParams::ntc(), seed);
+/// Dynamic sensitized delays never exceed the static critical delay
+/// (static analysis assumes every path sensitizable).
+#[test]
+fn dynamic_bounded_by_static() {
+    let alu = alu8();
+    let mut rng = SplitMix64::seed_from_u64(0x71AE_0002);
+    for case in 0..32 {
+        let seed = rng.gen_u64() % 32;
+        let sig =
+            ChipSignature::fabricate(alu.netlist(), Corner::NTC, VariationParams::ntc(), seed);
         let bound = StaticTiming::analyze(alu.netlist(), &sig).critical_delay_ps(alu.netlist());
         let mut sim = DynamicSim::new(alu.netlist(), &sig);
         let init = alu.encode(AluFunc::Buffer, 0, 0);
-        let sens = alu.encode(ALL_ALU_FUNCS[f], a as u64, b as u64);
+        let sens = alu.encode(pick_func(&mut rng), rng.gen_u64() & 0xFF, rng.gen_u64() & 0xFF);
         let t = sim.simulate_pair(&init, &sens);
         if let Some(d) = t.max_delay_ps {
-            prop_assert!(d <= bound + 1e-6, "dynamic {d} vs static {bound}");
+            assert!(d <= bound + 1e-6, "case {case}: dynamic {d} vs static {bound}");
         }
         if let (Some(lo), Some(hi)) = (t.min_delay_ps, t.max_delay_ps) {
-            prop_assert!(lo <= hi + 1e-9);
+            assert!(lo <= hi + 1e-9, "case {case}");
         }
     }
+}
 
-    /// Every enumerated path's delay equals the sum of its gate delays,
-    /// and the ranking is non-increasing — for any chip.
-    #[test]
-    fn enumerated_paths_are_consistent(seed in 0u64..32, k in 1usize..10) {
-        let alu = alu8();
-        let sig = ChipSignature::fabricate(alu.netlist(), Corner::NTC, VariationParams::ntc(), seed);
+/// Every enumerated path's delay equals the sum of its gate delays, and
+/// the ranking is non-increasing — for any chip.
+#[test]
+fn enumerated_paths_are_consistent() {
+    let alu = alu8();
+    let mut rng = SplitMix64::seed_from_u64(0x71AE_0003);
+    for case in 0..32 {
+        let seed = rng.gen_u64() % 32;
+        let k = 1 + rng.gen_index(9);
+        let sig =
+            ChipSignature::fabricate(alu.netlist(), Corner::NTC, VariationParams::ntc(), seed);
         let paths = k_critical_paths(alu.netlist(), &sig, k);
-        prop_assert_eq!(paths.len(), k);
+        assert_eq!(paths.len(), k, "case {case}");
         let mut prev = f64::INFINITY;
         for p in &paths {
             let sum: f64 = p.signals.iter().map(|s| sig.delay_ps(s.index())).sum();
-            prop_assert!((sum - p.delay_ps).abs() < 1e-6);
-            prop_assert!(p.delay_ps <= prev + 1e-9);
+            assert!((sum - p.delay_ps).abs() < 1e-6, "case {case}");
+            assert!(p.delay_ps <= prev + 1e-9, "case {case}");
             prev = p.delay_ps;
         }
     }
+}
 
-    /// Identical consecutive vectors never produce output transitions —
-    /// the circuit is settled, nothing can toggle.
-    #[test]
-    fn no_transitions_without_input_change(
-        seed in 0u64..32,
-        f in 0usize..13, a in any::<u8>(), b in any::<u8>(),
-    ) {
-        let alu = alu8();
-        let sig = ChipSignature::fabricate(alu.netlist(), Corner::NTC, VariationParams::ntc(), seed);
+/// Identical consecutive vectors never produce output transitions — the
+/// circuit is settled, nothing can toggle.
+#[test]
+fn no_transitions_without_input_change() {
+    let alu = alu8();
+    let mut rng = SplitMix64::seed_from_u64(0x71AE_0004);
+    for case in 0..32 {
+        let seed = rng.gen_u64() % 32;
+        let sig =
+            ChipSignature::fabricate(alu.netlist(), Corner::NTC, VariationParams::ntc(), seed);
         let mut sim = DynamicSim::new(alu.netlist(), &sig);
-        let v = alu.encode(ALL_ALU_FUNCS[f], a as u64, b as u64);
+        let v = alu.encode(pick_func(&mut rng), rng.gen_u64() & 0xFF, rng.gen_u64() & 0xFF);
         let t = sim.simulate_pair(&v, &v);
-        prop_assert_eq!(t.total_output_transitions, 0);
+        assert_eq!(t.total_output_transitions, 0, "case {case}");
     }
+}
 
-    /// Transition parity: an output's final value differs from its initial
-    /// value iff it saw an odd number of transitions.
-    #[test]
-    fn transition_parity_holds(
-        seed in 0u64..16,
-        a1 in any::<u8>(), b1 in any::<u8>(),
-        a2 in any::<u8>(), b2 in any::<u8>(),
-    ) {
-        let alu = alu8();
-        let sig = ChipSignature::fabricate(alu.netlist(), Corner::NTC, VariationParams::ntc(), seed);
+/// Transition parity: an output's final value differs from its initial
+/// value iff it saw an odd number of transitions.
+#[test]
+fn transition_parity_holds() {
+    let alu = alu8();
+    let mut rng = SplitMix64::seed_from_u64(0x71AE_0005);
+    for case in 0..16 {
+        let seed = rng.gen_u64() % 16;
+        let sig =
+            ChipSignature::fabricate(alu.netlist(), Corner::NTC, VariationParams::ntc(), seed);
         let mut sim = DynamicSim::new(alu.netlist(), &sig);
-        let init = alu.encode(AluFunc::Xor, a1 as u64, b1 as u64);
-        let sens = alu.encode(AluFunc::Add, a2 as u64, b2 as u64);
+        let init = alu.encode(AluFunc::Xor, rng.gen_u64() & 0xFF, rng.gen_u64() & 0xFF);
+        let sens = alu.encode(AluFunc::Add, rng.gen_u64() & 0xFF, rng.gen_u64() & 0xFF);
         let t = sim.simulate_pair(&init, &sens);
         for o in &t.outputs {
-            prop_assert_eq!(o.final_value != o.initial, o.transitions.len() % 2 == 1);
+            assert_eq!(
+                o.final_value != o.initial,
+                o.transitions.len() % 2 == 1,
+                "case {case}"
+            );
         }
     }
 }

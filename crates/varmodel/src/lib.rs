@@ -32,10 +32,12 @@
 
 pub mod device;
 pub mod pvta;
+pub mod rng;
 pub mod signature;
 pub mod variation;
 
 pub use device::{Corner, ALPHA, VTH_NOMINAL};
 pub use pvta::{at_condition, OperatingCondition};
+pub use rng::SplitMix64;
 pub use signature::{chip_lottery, ChipSignature, MultiplierStats};
 pub use variation::{GateVariation, SystematicField, VariationParams, VariationSampler};

@@ -1,0 +1,172 @@
+//! Minimal in-tree pseudo-random number generation: a [`SplitMix64`]
+//! stream with a Box–Muller standard-normal sampler.
+//!
+//! The whole reproduction is Monte-Carlo over *seeded* draws — chips in
+//! the fabrication lottery, operand vectors, trace phases — and the
+//! determinism contract of the sweep engine (see `ntc-experiments`) rests
+//! on every draw being a pure function of its seed. A tiny generator we
+//! own entirely is therefore preferable to an external crate: the build
+//! stays hermetic (no registry access required) and the bit-stream can
+//! never shift underneath the golden fixtures because a dependency was
+//! upgraded.
+//!
+//! SplitMix64 (Steele, Lea & Flood, OOPSLA 2014) is the standard choice
+//! for this job: one `u64` of state, an invertible avalanche mix, full
+//! 2⁶⁴ period, and statistically sound output even from consecutive
+//! integer seeds — exactly how the experiment harness seeds chips
+//! (`base + chip_idx`).
+
+/// A seeded SplitMix64 generator.
+///
+/// # Examples
+///
+/// ```
+/// use ntc_varmodel::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::seed_from_u64(7);
+/// let mut b = SplitMix64::seed_from_u64(7);
+/// assert_eq!(a.gen_u64(), b.gen_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+/// Golden-ratio increment of the SplitMix64 stream.
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl SplitMix64 {
+    /// Create a generator from a 64-bit seed. Named after the `rand`
+    /// constructor it replaces so call sites read identically.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GAMMA);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `u64` over the full range.
+    pub fn gen_u64(&mut self) -> u64 {
+        self.next_u64()
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform boolean.
+    pub fn gen_bool(&mut self) -> bool {
+        // Use a high bit: the low bit of a mixed output is fine too, but
+        // high bits are conventionally the best-avalanched.
+        self.next_u64() >> 63 == 1
+    }
+
+    /// Uniform index in `0..n` (Lemire's widening-multiply reduction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_index needs a nonempty range");
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
+    }
+
+    /// Uniform value in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn gen_range_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo <= hi, "inverted range {lo}..={hi}");
+        lo + self.gen_index(hi - lo + 1)
+    }
+
+    /// Standard-normal draw via Box–Muller (cosine branch only, matching
+    /// the sampler this module replaced: one normal per two uniforms).
+    pub fn normal(&mut self) -> f64 {
+        loop {
+            let u1 = self.gen_f64();
+            let u2 = self.gen_f64();
+            if u1 > f64::MIN_POSITIVE {
+                return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn known_splitmix_vector() {
+        // Reference output of SplitMix64 seeded with 1234567 (published
+        // test vector of the Vigna implementation).
+        let mut r = SplitMix64::seed_from_u64(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval_and_uniformish() {
+        let mut r = SplitMix64::seed_from_u64(9);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_index_covers_range_without_overflow() {
+        let mut r = SplitMix64::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            let i = r.gen_index(7);
+            assert!(i < 7);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets reachable: {seen:?}");
+        assert_eq!(r.gen_range_inclusive(5, 5), 5);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = SplitMix64::seed_from_u64(5);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.06, "var {var}");
+    }
+
+    #[test]
+    fn bool_is_balanced() {
+        let mut r = SplitMix64::seed_from_u64(17);
+        let trues = (0..10_000).filter(|_| r.gen_bool()).count();
+        assert!((4_600..5_400).contains(&trues), "trues {trues}");
+    }
+}

@@ -9,8 +9,7 @@
 //! they act on delay through the same current equation.
 
 use crate::device::Corner;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 
 /// Parameters of the process-variation model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,7 +72,7 @@ impl SystematicField {
     /// Sample a new field on a `grid × grid` lattice with per-cell standard
     /// deviation `sigma`, smoothed once so neighbouring cells correlate
     /// (the spherical-correlation structure of VARIUS, discretized).
-    pub fn sample(rng: &mut StdRng, grid: usize, sigma: f64) -> Self {
+    pub fn sample(rng: &mut SplitMix64, grid: usize, sigma: f64) -> Self {
         assert!(grid >= 1);
         let n = grid * grid;
         let raw: Vec<f64> = (0..n).map(|_| gaussian(rng) * sigma).collect();
@@ -149,14 +148,14 @@ impl GateVariation {
 pub struct VariationSampler {
     params: VariationParams,
     field: SystematicField,
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl VariationSampler {
     /// Create a sampler for one chip instance; `seed` selects the chip in
     /// the fabrication lottery.
     pub fn new(params: VariationParams, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let mut rng = SplitMix64::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
         let field = SystematicField::sample(&mut rng, params.grid, params.sigma_vth_systematic);
         VariationSampler { params, field, rng }
     }
@@ -179,15 +178,9 @@ impl VariationSampler {
     }
 }
 
-/// Standard normal draw (Box–Muller; avoids an extra dependency).
-pub(crate) fn gaussian(rng: &mut StdRng) -> f64 {
-    loop {
-        let u1: f64 = rng.gen::<f64>();
-        let u2: f64 = rng.gen::<f64>();
-        if u1 > f64::MIN_POSITIVE {
-            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
-        }
-    }
+/// Standard normal draw (Box–Muller, in-tree [`SplitMix64`] stream).
+pub(crate) fn gaussian(rng: &mut SplitMix64) -> f64 {
+    rng.normal()
 }
 
 #[cfg(test)]
@@ -226,7 +219,7 @@ mod tests {
 
     #[test]
     fn field_is_spatially_correlated() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = SplitMix64::seed_from_u64(11);
         let f = SystematicField::sample(&mut rng, 16, 0.02);
         // Nearby points differ less than far points, averaged over samples.
         let mut near = 0.0;
@@ -267,7 +260,7 @@ mod tests {
 
     #[test]
     fn gaussian_moments() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SplitMix64::seed_from_u64(5);
         let n = 20_000;
         let xs: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
         let mean = xs.iter().sum::<f64>() / n as f64;

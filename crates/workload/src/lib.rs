@@ -33,8 +33,7 @@
 pub mod trace_io;
 
 use ntc_isa::{arch_mask, Instruction, Opcode};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ntc_varmodel::rng::SplitMix64;
 use std::fmt;
 
 /// The six modelled benchmarks (SPEC CPU2000 profiles).
@@ -283,7 +282,7 @@ pub struct TraceGenerator {
     benchmark: Benchmark,
     blocks: Vec<Vec<Template>>,
     profile: Profile,
-    rng: StdRng,
+    rng: SplitMix64,
     cur_block: usize,
     cur_pos: usize,
 }
@@ -303,10 +302,10 @@ impl TraceGenerator {
     pub fn new(benchmark: Benchmark, seed: u64) -> Self {
         let profile = benchmark.profile();
         let mut rng =
-            StdRng::seed_from_u64(seed.wrapping_mul(0xA076_1D64_78BD_642F) ^ benchmark as u64);
+            SplitMix64::seed_from_u64(seed.wrapping_mul(0xA076_1D64_78BD_642F) ^ benchmark as u64);
         let blocks = (0..profile.blocks)
             .map(|_| {
-                let len = rng.gen_range(profile.block_len.0..=profile.block_len.1);
+                let len = rng.gen_range_inclusive(profile.block_len.0, profile.block_len.1);
                 (0..len)
                     .map(|_| Template::sample(&mut rng, &profile))
                     .collect()
@@ -332,8 +331,8 @@ impl TraceGenerator {
         if self.cur_pos >= self.blocks[self.cur_block].len() {
             self.cur_pos = 0;
             // Loop back into the same block with high probability.
-            if self.rng.gen::<f64>() >= self.profile.loop_repeat {
-                self.cur_block = self.rng.gen_range(0..self.blocks.len());
+            if self.rng.gen_f64() >= self.profile.loop_repeat {
+                self.cur_block = self.rng.gen_index(self.blocks.len());
             }
         }
         let (block, pos) = (self.cur_block, self.cur_pos);
@@ -358,9 +357,9 @@ impl Iterator for TraceGenerator {
 }
 
 impl Template {
-    fn sample(rng: &mut StdRng, profile: &Profile) -> Template {
+    fn sample(rng: &mut SplitMix64, profile: &Profile) -> Template {
         let total: u32 = profile.opcode_weights.iter().map(|(_, w)| w).sum();
-        let mut pick = rng.gen_range(0..total);
+        let mut pick = rng.gen_index(total as usize) as u32;
         let mut opcode = profile.opcode_weights[0].0;
         for &(op, w) in &profile.opcode_weights {
             if pick < w {
@@ -369,7 +368,7 @@ impl Template {
             }
             pick -= w;
         }
-        let class = |rng: &mut StdRng| match rng.gen_range(0..100u32) {
+        let class = |rng: &mut SplitMix64| match rng.gen_index(100) as u32 {
             0..=34 => OperandClass::Narrow,
             35..=59 => OperandClass::Half,
             60..=84 => OperandClass::Wide,
@@ -378,7 +377,7 @@ impl Template {
         let class_a = class(rng);
         // Immediates are narrower by ISA construction.
         let class_b = if opcode.has_immediate() {
-            if rng.gen::<bool>() {
+            if rng.gen_bool() {
                 OperandClass::Narrow
             } else {
                 OperandClass::Half
@@ -398,14 +397,14 @@ impl Template {
         t
     }
 
-    fn draw(&self, rng: &mut StdRng, class: OperandClass, wide_bias: f64) -> u64 {
+    fn draw(&self, rng: &mut SplitMix64, class: OperandClass, wide_bias: f64) -> u64 {
         let mask = arch_mask();
-        let raw: u64 = rng.gen();
+        let raw: u64 = rng.gen_u64();
         let v = match class {
             OperandClass::Narrow => raw & 0xFF,
             OperandClass::Half => raw & 0xFFFF,
             OperandClass::Wide => {
-                if rng.gen::<f64>() < wide_bias {
+                if rng.gen_f64() < wide_bias {
                     raw & mask | (1 << 28)
                 } else {
                     raw & 0xFF_FFFF
@@ -420,14 +419,14 @@ impl Template {
         v & mask
     }
 
-    fn materialize(&mut self, rng: &mut StdRng, wide_bias: f64) -> Instruction {
+    fn materialize(&mut self, rng: &mut SplitMix64, wide_bias: f64) -> Instruction {
         // Value locality: usually reuse the sticky registers, occasionally
         // refresh one of them.
         const REFRESH: f64 = 0.18;
-        if rng.gen::<f64>() < REFRESH {
+        if rng.gen_f64() < REFRESH {
             self.reg_a = self.draw(rng, self.class_a, wide_bias);
         }
-        if rng.gen::<f64>() < REFRESH {
+        if rng.gen_f64() < REFRESH {
             self.reg_b = self.draw(rng, self.class_b, wide_bias);
         }
         // Shift-immediate opcodes keep b in shift range.

@@ -49,7 +49,7 @@ fn netlist_alu_matches_isa_golden_model_at_arch_width() {
 fn dcs_beats_razor_on_every_benchmark() {
     let pipe = Pipeline::core1();
     for bench in [Benchmark::Mcf, Benchmark::Gzip, Benchmark::Vortex] {
-        let mut o = oracle(7);
+        let mut o = oracle(1);
         let c = clock(&o);
         let trace = TraceGenerator::new(bench, 1).trace(8_000);
         let razor = run_scheme(&mut Razor::ch3(), &mut o, &trace, c, pipe);
