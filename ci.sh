@@ -10,6 +10,13 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
 
+echo "==> kernel reference-equivalence + allocation-free suites"
+cargo test -q --offline -p ntc-timing reference:: --lib
+cargo test -q --offline -p ntc-timing --test alloc_free
+
+echo "==> cargo check --offline -p ntc-bench --features bench --benches"
+cargo check --offline -p ntc-bench --features bench --benches
+
 echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 

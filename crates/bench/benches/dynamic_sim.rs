@@ -1,0 +1,74 @@
+//! Bench: the dynamic timing kernel itself — `simulate_pair` on the
+//! 64-bit ALU under nominal and fabricated signatures, across sparse
+//! (short sensitized path) and dense (long sensitized path) vector pairs.
+//!
+//! This is the Phase-A cost every delay-oracle miss pays, so it bounds
+//! every figure and sweep. Sparse pairs (`Buffer`→`Buffer`) exercise the
+//! event-driven worklist (few gates visited); dense pairs (`Mult` with
+//! wide operands) exercise the per-gate evaluation loop itself.
+use ntc_bench::harness as criterion;
+use ntc_bench::{criterion_group, criterion_main};
+
+use criterion::Criterion;
+use std::time::Duration;
+
+use ntc_netlist::generators::alu::{Alu, AluFunc};
+use ntc_timing::DynamicSim;
+use ntc_varmodel::{ChipSignature, Corner, VariationParams};
+
+fn settings(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("dynamic_sim");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_millis(1500));
+    g.warm_up_time(Duration::from_millis(300));
+    g
+}
+
+fn bench(c: &mut Criterion) {
+    let alu = Alu::new(64);
+    let nominal = ChipSignature::nominal(alu.netlist(), Corner::NTC);
+    let fabricated =
+        ChipSignature::fabricate(alu.netlist(), Corner::NTC, VariationParams::ntc(), 7);
+
+    // Sparse activity: a Buffer op whose single toggling operand bit
+    // sensitizes a short path — the common case in real traces.
+    let sparse_init = alu.encode(AluFunc::Buffer, 0x01, 0x00);
+    let sparse_sens = alu.encode(AluFunc::Buffer, 0x03, 0x00);
+    // Long sensitized path: a full-width carry ripple.
+    let carry_init = alu.encode(AluFunc::Add, 0, 0);
+    let carry_sens = alu.encode(AluFunc::Add, u64::MAX, 1);
+    // Dense activity: wide-operand multiply toggling most of the array.
+    let dense_init = alu.encode(AluFunc::Mult, 0, 0);
+    let dense_sens = alu.encode(AluFunc::Mult, 0xDEAD_BEEF_1234_5678, 0x1357_9BDF_2468_ACE0);
+
+    let mut g = settings(c);
+    g.bench_function("sparse_buffer_nominal", |b| {
+        let mut sim = DynamicSim::new(alu.netlist(), &nominal);
+        b.iter(|| sim.simulate_pair(&sparse_init, &sparse_sens))
+    });
+    g.bench_function("sparse_buffer_fabricated", |b| {
+        let mut sim = DynamicSim::new(alu.netlist(), &fabricated);
+        b.iter(|| sim.simulate_pair(&sparse_init, &sparse_sens))
+    });
+    g.bench_function("carry_ripple_nominal", |b| {
+        let mut sim = DynamicSim::new(alu.netlist(), &nominal);
+        b.iter(|| sim.simulate_pair(&carry_init, &carry_sens))
+    });
+    g.bench_function("dense_mult_fabricated", |b| {
+        let mut sim = DynamicSim::new(alu.netlist(), &fabricated);
+        b.iter(|| sim.simulate_pair(&dense_init, &dense_sens))
+    });
+    // The oracle's Phase-A entry point: min/max only, no per-output
+    // activity vectors.
+    g.bench_function("sparse_buffer_minmax", |b| {
+        let mut sim = DynamicSim::new(alu.netlist(), &fabricated);
+        b.iter(|| sim.simulate_pair_minmax(&sparse_init, &sparse_sens))
+    });
+    g.bench_function("carry_ripple_minmax", |b| {
+        let mut sim = DynamicSim::new(alu.netlist(), &nominal);
+        b.iter(|| sim.simulate_pair_minmax(&carry_init, &carry_sens))
+    });
+    g.finish();
+}
+criterion_group!(benches, bench);
+criterion_main!(benches);

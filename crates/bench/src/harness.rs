@@ -106,7 +106,7 @@ impl<M> BenchmarkGroup<'_, M> {
             f(&mut b);
             samples.push(b.elapsed.as_secs_f64() / iters as f64);
         }
-        samples.sort_by(|a, c| a.partial_cmp(c).expect("finite times"));
+        samples.sort_by(f64::total_cmp);
         let median = samples[samples.len() / 2];
         let fmt = |s: f64| {
             if s >= 1.0 {

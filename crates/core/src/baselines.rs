@@ -176,8 +176,7 @@ impl Ocst {
         if !self.overshoots.is_empty() {
             // Grant enough slack to cover the 90th percentile of observed
             // overshoots, within the skew budget.
-            self.overshoots
-                .sort_by(|a, b| a.partial_cmp(b).expect("finite overshoots"));
+            self.overshoots.sort_by(f64::total_cmp);
             let idx = ((self.overshoots.len() as f64) * 0.9) as usize;
             let target = self.overshoots[idx.min(self.overshoots.len() - 1)];
             self.slack_ps = target.min(period_ps * self.max_slack_frac);

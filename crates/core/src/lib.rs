@@ -60,5 +60,8 @@ pub use baselines::{Hfg, Ocst, Razor};
 pub use dcs::{CsltKind, Dcs};
 pub use scheme::{CycleContext, CycleOutcome, ResilienceScheme};
 pub use sim::{profile_errors, run_scheme, ErrorProfile, SimResult};
-pub use tag_delay::{CycleDelays, OracleConfig, TagDelayOracle};
+pub use tag_delay::{
+    take_oracle_stats, CycleDelays, OracleConfig, OracleStats, SharedDelayCache,
+    ShardedDelayCache, TagDelayOracle,
+};
 pub use trident::{Eid, Trident, EID_BITS};

@@ -22,9 +22,11 @@
 use ntc_isa::{ErrorTag, Instruction};
 use ntc_netlist::generators::alu::Alu;
 use ntc_netlist::Netlist;
-use ntc_timing::DynamicSim;
+use ntc_timing::SimWorkspace;
 use ntc_varmodel::{ChipSignature, Corner};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Key of one entry in a [`SharedDelayCache`]: the tag plus the *full
@@ -40,6 +42,64 @@ use std::sync::{Arc, Mutex};
 /// chip: safe to share across experiments and threads.
 pub type SharedDelayKey = (ErrorTag, u64, u64, u64, u64);
 
+/// Number of independently locked shards in a [`ShardedDelayCache`]. A
+/// power of two so the shard index is a mask of the key hash.
+const CACHE_SHARDS: usize = 16;
+
+/// An N-way hash-sharded delay table: each key maps (by hash) to one of
+/// [`CACHE_SHARDS`] independently locked `HashMap`s, so Phase-A misses
+/// from parallel sweep workers no longer serialize on a single mutex.
+///
+/// Shard choice cannot affect simulation results: every entry is a pure
+/// function of the chip, each key always hashes to the same shard, and a
+/// racing insert keeps the first writer's (identical) value — so the table
+/// behaves observably like one big map, just with cheaper locks.
+#[derive(Debug, Default)]
+pub struct ShardedDelayCache {
+    shards: [Mutex<HashMap<SharedDelayKey, CycleDelays>>; CACHE_SHARDS],
+}
+
+impl ShardedDelayCache {
+    #[inline]
+    fn shard(&self, key: &SharedDelayKey) -> &Mutex<HashMap<SharedDelayKey, CycleDelays>> {
+        // DefaultHasher::new() is deterministic (fixed-key SipHash), unlike
+        // a HashMap's per-instance RandomState.
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) & (CACHE_SHARDS - 1)]
+    }
+
+    /// Look up a cached delay pair.
+    pub fn get(&self, key: &SharedDelayKey) -> Option<CycleDelays> {
+        self.shard(key).lock().expect("delay cache poisoned").get(key).copied()
+    }
+
+    /// Insert unless present, keeping the first writer's entry on a race —
+    /// the values are identical anyway (pure function of the chip).
+    pub fn insert_if_absent(&self, key: SharedDelayKey, d: CycleDelays) {
+        self.shard(&key)
+            .lock()
+            .expect("delay cache poisoned")
+            .entry(key)
+            .or_insert(d);
+    }
+
+    /// Total entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("delay cache poisoned").len())
+            .sum()
+    }
+
+    /// True when no shard holds any entry.
+    pub fn is_empty(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.lock().expect("delay cache poisoned").is_empty())
+    }
+}
+
 /// A delay table shared between oracles bound to the *same* fabricated
 /// chip (same netlist + signature), so experiments replaying the same
 /// instruction pairs reuse each other's Phase-A gate simulations instead
@@ -50,7 +110,42 @@ pub type SharedDelayKey = (ErrorTag, u64, u64, u64, u64);
 /// value every other oracle would have computed from the same pair.
 /// Results are therefore bit-identical with or without a shared cache, at
 /// any thread count — only the number of gate-level simulations changes.
-pub type SharedDelayCache = Arc<Mutex<HashMap<SharedDelayKey, CycleDelays>>>;
+pub type SharedDelayCache = Arc<ShardedDelayCache>;
+
+/// Cumulative oracle efficiency counters since the last
+/// [`take_oracle_stats`] call, aggregated across every oracle in the
+/// process (sweep workers included).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OracleStats {
+    /// Phase-A gate-level simulations (cache misses all the way through).
+    pub gate_sims: u64,
+    /// Hits in per-oracle `(tag, bucket)` caches.
+    pub local_hits: u64,
+    /// Hits in the shared full-operand cache.
+    pub shared_hits: u64,
+}
+
+impl OracleStats {
+    /// Total delay queries answered.
+    pub fn queries(&self) -> u64 {
+        self.gate_sims + self.local_hits + self.shared_hits
+    }
+}
+
+static STAT_GATE_SIMS: AtomicU64 = AtomicU64::new(0);
+static STAT_LOCAL_HITS: AtomicU64 = AtomicU64::new(0);
+static STAT_SHARED_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Drain the process-wide [`OracleStats`] counters, resetting them to
+/// zero — call once per run/experiment to report cache effectiveness.
+/// Mirrors the runner's sweep-stats drain.
+pub fn take_oracle_stats() -> OracleStats {
+    OracleStats {
+        gate_sims: STAT_GATE_SIMS.swap(0, Ordering::Relaxed),
+        local_hits: STAT_LOCAL_HITS.swap(0, Ordering::Relaxed),
+        shared_hits: STAT_SHARED_HITS.swap(0, Ordering::Relaxed),
+    }
+}
 
 /// Min/max sensitized delay of one simulated cycle, picoseconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -88,6 +183,11 @@ pub struct TagDelayOracle {
     cache: HashMap<(ErrorTag, u32), CycleDelays>,
     shared: Option<SharedDelayCache>,
     gate_sims: u64,
+    /// Reusable kernel buffers: Phase-A simulation allocates nothing in
+    /// steady state.
+    workspace: SimWorkspace,
+    pi_init: Vec<bool>,
+    pi_sens: Vec<bool>,
 }
 
 impl std::fmt::Debug for TagDelayOracle {
@@ -139,6 +239,9 @@ impl TagDelayOracle {
             cache: HashMap::new(),
             shared: None,
             gate_sims: 0,
+            workspace: SimWorkspace::new(),
+            pi_init: Vec::new(),
+            pi_sens: Vec::new(),
         }
     }
 
@@ -174,6 +277,7 @@ impl TagDelayOracle {
         let bucket = operand_bucket(prev, cur, self.config.buckets_per_tag);
         let key = (tag, bucket);
         if let Some(d) = self.cache.get(&key) {
+            STAT_LOCAL_HITS.fetch_add(1, Ordering::Relaxed);
             return *d;
         }
         // On a local miss the old path would simulate (prev, cur) exactly;
@@ -181,30 +285,31 @@ impl TagDelayOracle {
         // simulation's result, so behaviour is unchanged by sharing.
         let full: SharedDelayKey = (tag, prev.a, prev.b, cur.a, cur.b);
         if let Some(shared) = &self.shared {
-            let hit = shared.lock().expect("delay cache poisoned").get(&full).copied();
-            if let Some(d) = hit {
+            if let Some(d) = shared.get(&full) {
+                STAT_SHARED_HITS.fetch_add(1, Ordering::Relaxed);
                 self.cache.insert(key, d);
                 return d;
             }
         }
-        let init = encode(&self.netlist, self.width, prev);
-        let sens = encode(&self.netlist, self.width, cur);
-        let mut sim = DynamicSim::new(&self.netlist, &self.signature);
-        let t = sim.simulate_pair(&init, &sens);
+        encode_into(self.width, prev, &mut self.pi_init);
+        encode_into(self.width, cur, &mut self.pi_sens);
+        // Lean min/max entry point on the owned workspace: no per-miss
+        // simulator construction, no per-output activity vectors.
+        let t = self.workspace.simulate_pair_minmax(
+            &self.netlist,
+            &self.signature,
+            &self.pi_init,
+            &self.pi_sens,
+        );
         self.gate_sims += 1;
+        STAT_GATE_SIMS.fetch_add(1, Ordering::Relaxed);
         let d = CycleDelays {
-            min_ps: t.min_delay_ps,
-            max_ps: t.max_delay_ps,
+            min_ps: t.min_ps,
+            max_ps: t.max_ps,
         };
         self.cache.insert(key, d);
         if let Some(shared) = &self.shared {
-            // Keep the first writer's entry on a race: the values are
-            // identical anyway (pure function of the chip).
-            shared
-                .lock()
-                .expect("delay cache poisoned")
-                .entry(full)
-                .or_insert(d);
+            shared.insert_if_absent(full, d);
         }
         d
     }
@@ -243,16 +348,15 @@ fn operand_bucket(prev: &Instruction, cur: &Instruction, buckets: usize) -> u32 
     (h % buckets as u64) as u32
 }
 
-/// Encode an instruction as the ALU-shaped netlist's primary inputs.
-fn encode(nl: &Netlist, width: usize, instr: &Instruction) -> Vec<bool> {
+/// Encode an instruction as the ALU-shaped netlist's primary inputs,
+/// reusing the caller's buffer (allocation-free once warm).
+fn encode_into(width: usize, instr: &Instruction, pis: &mut Vec<bool>) {
     let func = instr.opcode.alu_func();
     let code = func.select_code();
-    let mut pis = Vec::with_capacity(4 + 2 * width);
+    pis.clear();
     pis.extend((0..4).map(|i| (code >> i) & 1 == 1));
     pis.extend((0..width).map(|i| (instr.a >> i) & 1 == 1));
     pis.extend((0..width).map(|i| (instr.b >> i) & 1 == 1));
-    let _ = nl;
-    pis
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@
 //! value, only the wall clock changes. Tables print to stdout and CSVs
 //! land in `--out` (default `target/repro`).
 
+use ntc_core::tag_delay::take_oracle_stats;
 use ntc_experiments::{all_experiments, runner, Scale};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -75,6 +76,7 @@ fn main() {
     );
     for (id, run) in to_run {
         let _ = runner::take_stats(); // drain any leftover sweep counters
+        let _ = take_oracle_stats(); // ...and leftover oracle counters
         let start = Instant::now();
         let table = run(scale);
         let elapsed = start.elapsed();
@@ -82,10 +84,22 @@ fn main() {
             .speedup()
             .map(|s| format!(", sweep speedup {s:.2}x"))
             .unwrap_or_default();
+        // Oracle cache effectiveness: Phase-A gate-level simulations vs
+        // per-oracle and shared-cache hits. A regression here (more sims,
+        // fewer hits) shows up even when results stay bit-identical.
+        let oracle = take_oracle_stats();
+        let cache = if oracle.queries() > 0 {
+            format!(
+                ", oracle {} sims / {} local hits / {} shared hits",
+                oracle.gate_sims, oracle.local_hits, oracle.shared_hits
+            )
+        } else {
+            String::new()
+        };
         println!("{table}");
         match table.save_csv(&out) {
             Ok(path) => println!(
-                "[{id}] {:.1}s{speedup} → {}\n",
+                "[{id}] {:.1}s{speedup}{cache} → {}\n",
                 elapsed.as_secs_f64(),
                 path.display()
             ),

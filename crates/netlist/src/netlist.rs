@@ -121,6 +121,13 @@ pub struct Netlist {
     outputs: Vec<Signal>,
     input_ports: Vec<Port>,
     output_ports: Vec<Port>,
+    /// CSR fanout index: gates fed by signal `i` live at
+    /// `fanout_targets[fanout_offsets[i]..fanout_offsets[i + 1]]`, in
+    /// ascending gate order. Built once in [`Builder::finish`]; the
+    /// event-driven dynamic simulator walks it instead of scanning every
+    /// gate.
+    fanout_offsets: Vec<u32>,
+    fanout_targets: Vec<u32>,
 }
 
 impl Netlist {
@@ -217,6 +224,19 @@ impl Netlist {
     ///
     /// Panics if `pi_values.len()` differs from the number of primary inputs.
     pub fn eval_all(&self, pi_values: &[bool]) -> Vec<bool> {
+        let mut values = Vec::new();
+        self.eval_all_into(pi_values, &mut values);
+        values
+    }
+
+    /// [`eval_all`](Self::eval_all) into a caller-owned buffer, so settle
+    /// loops (the dynamic timing simulator runs one per vector pair) reuse
+    /// one allocation across calls. The buffer is cleared and refilled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_values.len()` differs from the number of primary inputs.
+    pub fn eval_all_into(&self, pi_values: &[bool], values: &mut Vec<bool>) {
         assert_eq!(
             pi_values.len(),
             self.inputs.len(),
@@ -224,7 +244,8 @@ impl Netlist {
             pi_values.len(),
             self.inputs.len()
         );
-        let mut values = vec![false; self.gates.len()];
+        values.clear();
+        values.resize(self.gates.len(), false);
         let mut pi_iter = pi_values.iter();
         let mut scratch = [false; 3];
         for (i, g) in self.gates.iter().enumerate() {
@@ -239,7 +260,23 @@ impl Netlist {
                 }
             };
         }
-        values
+    }
+
+    /// Gate indices fed by `sig`'s net, in ascending (topological) order —
+    /// the precomputed fanout index. A gate sampling the same signal on
+    /// two pins appears once per pin.
+    #[inline]
+    pub fn fanout_of(&self, sig: Signal) -> &[u32] {
+        self.fanout_of_index(sig.index())
+    }
+
+    /// [`fanout_of`](Self::fanout_of) addressed by raw signal index — the
+    /// form the event-driven simulator's worklist uses.
+    #[inline]
+    pub fn fanout_of_index(&self, i: usize) -> &[u32] {
+        let lo = self.fanout_offsets[i] as usize;
+        let hi = self.fanout_offsets[i + 1] as usize;
+        &self.fanout_targets[lo..hi]
     }
 
     /// Per-gate fanout counts (number of gate input pins each signal feeds,
@@ -347,6 +384,32 @@ impl Netlist {
             .map(|(&fo, _)| pitch * (1.0 + (fo as f64).sqrt()))
             .sum()
     }
+}
+
+/// Build the CSR fanout adjacency (offsets + targets) for a gate list.
+/// Filling in gate order keeps each signal's target list ascending.
+fn build_fanout_index(gates: &[Gate]) -> (Vec<u32>, Vec<u32>) {
+    let n = gates.len();
+    let mut offsets = vec![0u32; n + 1];
+    for g in gates {
+        for s in g.inputs() {
+            offsets[s.index() + 1] += 1;
+        }
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let mut cursor: Vec<u32> = offsets[..n].to_vec();
+    let total = offsets[n] as usize;
+    let mut targets = vec![0u32; total];
+    for (i, g) in gates.iter().enumerate() {
+        for s in g.inputs() {
+            let c = &mut cursor[s.index()];
+            targets[*c as usize] = i as u32;
+            *c += 1;
+        }
+    }
+    (offsets, targets)
 }
 
 /// Incremental netlist builder.
@@ -550,12 +613,15 @@ impl Builder {
     /// Panics if a port name was registered twice (a programming error in
     /// the generator).
     pub fn finish(self) -> Netlist {
+        let (fanout_offsets, fanout_targets) = build_fanout_index(&self.gates);
         let nl = Netlist {
             gates: self.gates,
             inputs: self.inputs,
             outputs: self.outputs,
             input_ports: self.input_ports,
             output_ports: self.output_ports,
+            fanout_offsets,
+            fanout_targets,
         };
         for ports in [&nl.input_ports, &nl.output_ports] {
             for (i, p) in ports.iter().enumerate() {
@@ -658,6 +724,37 @@ mod tests {
         assert!(nl.area_um2() > 0.0);
         assert!(nl.estimated_wirelength_um() > 0.0);
         assert!(nl.leakage_nw() > 0.0);
+    }
+
+    #[test]
+    fn fanout_index_matches_gate_inputs() {
+        let nl = full_adder_netlist();
+        // Rebuild the adjacency the slow way and compare.
+        for (sig, _) in nl.iter() {
+            let expect: Vec<u32> = nl
+                .gates()
+                .iter()
+                .enumerate()
+                .flat_map(|(i, g)| {
+                    g.inputs()
+                        .iter()
+                        .filter(|s| **s == sig)
+                        .map(move |_| i as u32)
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            assert_eq!(nl.fanout_of(sig), expect.as_slice(), "fanout of {sig}");
+        }
+        // a feeds xor(axb) and maj(cout): two fanout pins.
+        assert_eq!(nl.fanout_of(nl.inputs()[0]).len(), 2);
+    }
+
+    #[test]
+    fn eval_all_into_reuses_buffer() {
+        let nl = full_adder_netlist();
+        let mut buf = vec![true; 99];
+        nl.eval_all_into(&[true, true, false], &mut buf);
+        assert_eq!(buf, nl.eval_all(&[true, true, false]));
     }
 
     #[test]

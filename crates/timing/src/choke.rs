@@ -119,7 +119,7 @@ pub fn identify_choke_event(
         .map(|&g| (g, sig.delay_ps(g) - sig.nominal_ps(g)))
         .filter(|(_, d)| *d > 0.0)
         .collect();
-    devs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite deviations"));
+    devs.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     let mut covered = 0.0;
     let mut choke_gates = Vec::new();

@@ -45,10 +45,14 @@ pub mod choke;
 pub mod dynamic;
 pub mod errors;
 pub mod paths;
+#[cfg(test)]
+mod reference;
 pub mod sta;
 
 pub use choke::{identify_choke_event, CdlCategory, CdlCglProfile, ChokeEvent, ALL_CDL_CATEGORIES};
-pub use dynamic::{CycleTiming, DynamicSim, OutputActivity, MAX_EVENTS_PER_NET};
+pub use dynamic::{
+    CycleTiming, DynamicSim, MinMaxDelays, OutputActivity, SimWorkspace, MAX_EVENTS_PER_NET,
+};
 pub use errors::{
     classify_cycle, classify_stream, illegal_transition_count, ClockSpec, CycleViolation,
     ErrorClass,

@@ -192,7 +192,7 @@ impl SlackReport {
                 (o, a, period_ps - a)
             })
             .collect();
-        endpoints.sort_by(|x, y| x.2.partial_cmp(&y.2).expect("finite slack"));
+        endpoints.sort_by(|x, y| x.2.total_cmp(&y.2));
         SlackReport { endpoints }
     }
 

@@ -86,11 +86,7 @@ impl StaticTiming {
         let &end = nl
             .outputs()
             .iter()
-            .max_by(|a, b| {
-                self.max_arrival[a.index()]
-                    .partial_cmp(&self.max_arrival[b.index()])
-                    .expect("arrival times are finite")
-            })
+            .max_by(|a, b| self.max_arrival[a.index()].total_cmp(&self.max_arrival[b.index()]))
             .expect("netlist has outputs");
         let mut chain = vec![end];
         let mut cur = end;
@@ -102,11 +98,7 @@ impl StaticTiming {
             let &next = gate
                 .inputs()
                 .iter()
-                .max_by(|a, b| {
-                    self.max_arrival[a.index()]
-                        .partial_cmp(&self.max_arrival[b.index()])
-                        .expect("arrival times are finite")
-                })
+                .max_by(|a, b| self.max_arrival[a.index()].total_cmp(&self.max_arrival[b.index()]))
                 .expect("logic gates have inputs");
             chain.push(next);
             cur = next;
