@@ -23,4 +23,38 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> repro --fast fig3.4"
 ./target/release/repro --fast fig3.4
 
+echo "==> repro --fast --format json fig3.4 (manifest + JSON output)"
+rm -rf target/repro-ci
+./target/release/repro --fast --format json --out target/repro-ci fig3.4 \
+  > target/repro-ci-tables.jsonl
+test -s target/repro-ci/manifest.json
+test -s target/repro-ci/fig3_4.csv
+# The manifest and every stdout table document must parse as JSON.
+if command -v jq >/dev/null 2>&1; then
+  jq -e '.schema == "ntc-repro-manifest/1" and .failed == 0 and (.records | length) == 1' \
+    target/repro-ci/manifest.json >/dev/null
+  jq -e . target/repro-ci-tables.jsonl >/dev/null
+elif command -v python3 >/dev/null 2>&1; then
+  python3 - <<'EOF'
+import json
+m = json.load(open("target/repro-ci/manifest.json"))
+assert m["schema"] == "ntc-repro-manifest/1" and m["failed"] == 0 and len(m["records"]) == 1, m
+for line in open("target/repro-ci-tables.jsonl"):
+    if line.strip():
+        json.loads(line)
+EOF
+else
+  echo "note: neither jq nor python3 found; relying on repro's built-in manifest self-validation"
+fi
+
+echo "==> repro exit-code semantics (unknown id => 2, CSV failure => 1)"
+if ./target/release/repro --fast fig3.4 fgi3.10 >/dev/null 2>&1; then
+  echo "FAIL: misspelled experiment id must exit nonzero"; exit 1
+fi
+touch target/repro-ci-blocker
+if ./target/release/repro --fast --out target/repro-ci-blocker fig3.4 >/dev/null 2>&1; then
+  echo "FAIL: unwritable --out must exit nonzero"; exit 1
+fi
+rm -f target/repro-ci-blocker
+
 echo "==> CI OK"

@@ -115,6 +115,11 @@ pub type SharedDelayCache = Arc<ShardedDelayCache>;
 /// Cumulative oracle efficiency counters since the last
 /// [`take_oracle_stats`] call, aggregated across every oracle in the
 /// process (sweep workers included).
+///
+/// The struct doubles as the serialization contract for run telemetry:
+/// [`OracleStats::fields`] enumerates the counters as stable
+/// `(name, value)` pairs, so an encoder (the `repro` manifest writer)
+/// never hard-codes field names that could drift from the struct.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OracleStats {
     /// Phase-A gate-level simulations (cache misses all the way through).
@@ -129,6 +134,26 @@ impl OracleStats {
     /// Total delay queries answered.
     pub fn queries(&self) -> u64 {
         self.gate_sims + self.local_hits + self.shared_hits
+    }
+
+    /// The counters as stable `(field name, value)` pairs, in declaration
+    /// order — the single source of truth for serializers.
+    pub fn fields(&self) -> [(&'static str, u64); 3] {
+        [
+            ("gate_sims", self.gate_sims),
+            ("local_hits", self.local_hits),
+            ("shared_hits", self.shared_hits),
+        ]
+    }
+}
+
+impl std::ops::AddAssign for OracleStats {
+    /// Counter-wise accumulation, e.g. folding per-experiment drains into
+    /// a suite total.
+    fn add_assign(&mut self, rhs: OracleStats) {
+        self.gate_sims += rhs.gate_sims;
+        self.local_hits += rhs.local_hits;
+        self.shared_hits += rhs.shared_hits;
     }
 }
 
@@ -456,6 +481,26 @@ mod tests {
             assert_eq!(reader.delays(p, c), fresh.delays(p, c));
         }
         assert_eq!(reader.gate_sim_count(), 0, "all hits came from the shared table");
+    }
+
+    #[test]
+    fn oracle_stats_fields_and_accumulation() {
+        let mut total = OracleStats::default();
+        total += OracleStats {
+            gate_sims: 2,
+            local_hits: 5,
+            shared_hits: 1,
+        };
+        total += OracleStats {
+            gate_sims: 1,
+            local_hits: 0,
+            shared_hits: 4,
+        };
+        assert_eq!(total.queries(), 13);
+        assert_eq!(
+            total.fields(),
+            [("gate_sims", 3), ("local_hits", 5), ("shared_hits", 5)]
+        );
     }
 
     #[test]

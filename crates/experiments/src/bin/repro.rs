@@ -3,24 +3,55 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--full] [--jobs N] [--out DIR] [ID ...]
+//! repro [--full] [--jobs N] [--out DIR] [--format text|json] [ID ...]
 //! ```
 //!
 //! With no IDs, the whole suite runs. `--full` switches to paper-scale
 //! parameters (million-cycle traces); the default fast scale keeps the run
 //! laptop-friendly. `--jobs N` (or the `NTC_JOBS` environment variable)
 //! pins the sweep-engine thread count — results are bit-identical at any
-//! value, only the wall clock changes. Tables print to stdout and CSVs
-//! land in `--out` (default `target/repro`).
+//! value, only the wall clock changes. Tables print to stdout (aligned
+//! text by default, one JSON object per line with `--format json`) and
+//! CSVs land in `--out` (default `target/repro`).
+//!
+//! Every run also writes `<out>/manifest.json`: one structured
+//! [`RunRecord`] per experiment (scale, jobs, wall time, sweep busy/wall
+//! counters, oracle cache counters, row count, CSV path, pass/fail) plus
+//! suite totals — the machine-readable receipt that a "green" run actually
+//! produced what it claims. In `--format json` mode the per-experiment
+//! status lines move to stderr so stdout stays pure JSON lines.
+//!
+//! Exit codes:
+//!
+//! * `0` — every requested experiment ran, every CSV and the manifest
+//!   were written;
+//! * `1` — at least one experiment failed (panic, caught sweep-index
+//!   panic, CSV or manifest write error); the manifest names it;
+//! * `2` — usage error: bad flag, or **any** requested ID matching no
+//!   experiment (a misspelled ID must never silently shrink the suite).
 
 use ntc_core::tag_delay::take_oracle_stats;
+use ntc_experiments::report::{table_to_json, Manifest, RunRecord};
 use ntc_experiments::{all_experiments, runner, Scale};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::time::Instant;
 
+/// stdout table format.
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
 fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
     let mut scale = Scale::Fast;
     let mut out = PathBuf::from("target/repro");
+    let mut format = Format::Text;
     let mut selected: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -28,82 +59,199 @@ fn main() {
             "--full" => scale = Scale::Full,
             "--fast" => scale = Scale::Fast,
             "--jobs" | "-j" => {
-                let n = args
+                match args
                     .next()
                     .and_then(|v| v.trim().parse::<usize>().ok())
                     .filter(|&n| n > 0)
-                    .unwrap_or_else(|| {
+                {
+                    Some(n) => runner::set_jobs(n),
+                    None => {
                         eprintln!("--jobs requires a positive integer");
-                        std::process::exit(2);
-                    });
-                runner::set_jobs(n);
+                        return 2;
+                    }
+                }
             }
-            "--out" => {
-                out = PathBuf::from(args.next().unwrap_or_else(|| {
+            "--out" => match args.next() {
+                Some(dir) => out = PathBuf::from(dir),
+                None => {
                     eprintln!("--out requires a directory");
-                    std::process::exit(2);
-                }));
-            }
+                    return 2;
+                }
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    eprintln!("--format requires `text` or `json` (got {other:?})");
+                    return 2;
+                }
+            },
             "--list" => {
                 for (id, _) in all_experiments() {
                     println!("{id}");
                 }
-                return;
+                return 0;
             }
             "--help" | "-h" => {
-                println!("usage: repro [--full] [--jobs N] [--out DIR] [--list] [ID ...]");
-                return;
+                println!(
+                    "usage: repro [--full] [--jobs N] [--out DIR] [--format text|json] \
+                     [--list] [ID ...]\n\
+                     exit codes: 0 all good; 1 experiment/CSV/manifest failure; \
+                     2 usage error or unknown ID"
+                );
+                return 0;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag `{flag}`; see --help");
+                return 2;
             }
             id => selected.push(id.to_owned()),
         }
     }
 
     let suite = all_experiments();
+    // Strict selection: every requested ID must name a real experiment. A
+    // single typo fails the whole invocation up front — silently running a
+    // subset is exactly the kind of "green but meaningless" outcome the
+    // manifest exists to prevent.
+    let unknown: Vec<&String> = selected
+        .iter()
+        .filter(|sel| !suite.iter().any(|(id, _)| *id == sel.as_str()))
+        .collect();
+    if !unknown.is_empty() {
+        for u in unknown {
+            eprintln!("error: no experiment matches `{u}`");
+        }
+        eprintln!("run `repro --list` for the available ids");
+        return 2;
+    }
     let to_run: Vec<_> = suite
         .iter()
         .filter(|(id, _)| selected.is_empty() || selected.iter().any(|s| s == id))
         .collect();
-    if to_run.is_empty() {
-        eprintln!("no experiment matches {selected:?}; try --list");
-        std::process::exit(2);
+
+    let scale_label = match scale {
+        Scale::Fast => "fast",
+        Scale::Full => "full",
+    };
+    let jobs = runner::jobs();
+    let status_line = |line: &str| match format {
+        // In JSON mode stdout carries only JSON documents; human-facing
+        // status goes to stderr.
+        Format::Text => println!("{line}"),
+        Format::Json => eprintln!("{line}"),
+    };
+    status_line(&format!(
+        "# ntc-choke reproduction suite — {} experiment(s), {scale_label} scale, {jobs} job(s)\n",
+        to_run.len()
+    ));
+
+    let mut records: Vec<RunRecord> = Vec::new();
+    for (id, run_experiment) in to_run {
+        // Drain any leftover counters so this experiment's record only
+        // accounts for its own work.
+        let _ = runner::take_stats();
+        let _ = take_oracle_stats();
+        let _ = runner::take_sweep_failures();
+        let start = Instant::now();
+        // Experiment-level fault isolation: a panicking experiment (e.g. a
+        // chip failing inside a strict `sweep`) becomes a failed record and
+        // a nonzero exit, not a dead suite.
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_experiment(scale)));
+        let mut record = RunRecord {
+            id: (*id).to_owned(),
+            title: String::new(),
+            scale: scale_label.to_owned(),
+            jobs,
+            wall_s: start.elapsed().as_secs_f64(),
+            sweep: runner::take_stats(),
+            oracle: take_oracle_stats(),
+            sweep_failures: runner::take_sweep_failures(),
+            rows: 0,
+            csv: None,
+            error: None,
+        };
+        match outcome {
+            Ok(table) => {
+                record.title = table.title.clone();
+                record.rows = table.rows.len();
+                match format {
+                    Format::Text => println!("{table}"),
+                    Format::Json => println!("{}", table_to_json(&table)),
+                }
+                match table.save_csv(&out) {
+                    Ok(path) => record.csv = Some(path),
+                    Err(e) => record.error = Some(format!("failed to write CSV: {e}")),
+                }
+            }
+            Err(payload) => {
+                let message: &str = if let Some(s) = payload.downcast_ref::<&str>() {
+                    s
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s
+                } else {
+                    "non-string panic payload"
+                };
+                record.error = Some(format!("experiment panicked: {message}"));
+            }
+        }
+        status_line(&describe(&record));
+        records.push(record);
     }
 
-    println!(
-        "# ntc-choke reproduction suite — {} experiment(s), {:?} scale, {} job(s)\n",
-        to_run.len(),
-        scale,
-        runner::jobs()
-    );
-    for (id, run) in to_run {
-        let _ = runner::take_stats(); // drain any leftover sweep counters
-        let _ = take_oracle_stats(); // ...and leftover oracle counters
-        let start = Instant::now();
-        let table = run(scale);
-        let elapsed = start.elapsed();
-        let speedup = runner::take_stats()
-            .speedup()
-            .map(|s| format!(", sweep speedup {s:.2}x"))
-            .unwrap_or_default();
-        // Oracle cache effectiveness: Phase-A gate-level simulations vs
-        // per-oracle and shared-cache hits. A regression here (more sims,
-        // fewer hits) shows up even when results stay bit-identical.
-        let oracle = take_oracle_stats();
-        let cache = if oracle.queries() > 0 {
-            format!(
-                ", oracle {} sims / {} local hits / {} shared hits",
-                oracle.gate_sims, oracle.local_hits, oracle.shared_hits
-            )
-        } else {
-            String::new()
-        };
-        println!("{table}");
-        match table.save_csv(&out) {
-            Ok(path) => println!(
-                "[{id}] {:.1}s{speedup}{cache} → {}\n",
-                elapsed.as_secs_f64(),
-                path.display()
-            ),
-            Err(e) => eprintln!("[{id}] failed to write CSV: {e}"),
+    let manifest = Manifest::new(scale_label, jobs, records);
+    let summary = manifest.summary_line();
+    match manifest.save(&out) {
+        Ok(path) => status_line(&format!("{summary} → {}", path.display())),
+        Err(e) => {
+            eprintln!("{summary}");
+            eprintln!("error: failed to write manifest: {e}");
+            return 1;
         }
     }
+    if manifest.failed() > 0 {
+        1
+    } else {
+        0
+    }
+}
+
+/// One human-readable status line per experiment, built from the same
+/// `RunRecord` the manifest serializes — the printed wall/busy/oracle
+/// numbers *are* the recorded ones.
+fn describe(r: &RunRecord) -> String {
+    let mut line = format!(
+        "[{}] {} {:.1}s",
+        r.id,
+        if r.passed() { "ok" } else { "FAILED" },
+        r.wall_s
+    );
+    if let Some(speedup) = r.sweep.speedup() {
+        line.push_str(&format!(
+            ", sweep busy {:.3}s / wall {:.3}s ({speedup:.2}x)",
+            r.sweep.busy.as_secs_f64(),
+            r.sweep.wall.as_secs_f64()
+        ));
+    }
+    // Oracle cache effectiveness: Phase-A gate-level simulations vs
+    // per-oracle and shared-cache hits. A regression here (more sims,
+    // fewer hits) shows up even when results stay bit-identical.
+    if r.oracle.queries() > 0 {
+        line.push_str(&format!(
+            ", oracle {} sims / {} local hits / {} shared hits",
+            r.oracle.gate_sims, r.oracle.local_hits, r.oracle.shared_hits
+        ));
+    }
+    if !r.sweep_failures.is_empty() {
+        line.push_str(&format!(
+            ", {} sweep index(es) panicked",
+            r.sweep_failures.len()
+        ));
+    }
+    match (&r.csv, &r.error) {
+        (Some(path), None) => line.push_str(&format!(" → {}\n", path.display())),
+        (_, Some(e)) => line.push_str(&format!(": {e}\n")),
+        (None, None) => line.push('\n'),
+    }
+    line
 }

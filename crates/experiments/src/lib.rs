@@ -29,11 +29,16 @@ pub mod ch3;
 pub mod ch4;
 pub mod config;
 pub mod extensions;
+pub mod report;
 pub mod runner;
 pub mod table;
 
 pub use config::{build_oracle, normalize_to_first, ClockRegime, Scale, CH3_REGIME, CH4_REGIME};
-pub use runner::{set_jobs, sweep, sweep_over, take_stats, SweepStats};
+pub use report::{Manifest, RunRecord};
+pub use runner::{
+    set_jobs, sweep, sweep_catching, sweep_over, take_stats, take_sweep_failures, IndexFailure,
+    SweepStats,
+};
 pub use table::ResultTable;
 
 /// One named experiment: its figure/table id and scale-parametric runner.

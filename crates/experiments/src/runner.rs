@@ -21,13 +21,31 @@
 //! Thread count resolution, in priority order: [`set_jobs`] (the `--jobs`
 //! flag), the `NTC_JOBS` environment variable, then the machine's
 //! available parallelism. One job means the sweep runs inline on the
-//! calling thread with zero overhead.
+//! calling thread with zero overhead. A malformed `NTC_JOBS` value is
+//! ignored with a single warning rather than silently.
 //!
 //! The engine keeps global busy/wall counters so callers (the `repro`
 //! binary) can report the effective speedup of each experiment; see
-//! [`take_stats`].
+//! [`take_stats`]. The counters are recorded on **every** exit path,
+//! including unwinding — a panicking sweep still accounts its wall and
+//! busy time, so per-experiment telemetry stays honest even for failing
+//! runs.
+//!
+//! Two failure disciplines are offered:
+//!
+//! * [`sweep`] — fail fast: a panic in any task propagates to the caller
+//!   after stats are recorded. Experiments use this; a panicking chip
+//!   means the table is untrustworthy and must not be emitted.
+//! * [`sweep_catching`] — fault isolation: each index runs under
+//!   [`std::panic::catch_unwind`], a panicking index yields
+//!   `Err(IndexFailure)` in its slot while every other index completes
+//!   bit-identically, and the failures are additionally pushed to a
+//!   process-global registry ([`take_sweep_failures`]) so the `repro`
+//!   manifest can report them per experiment.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, Once};
 use std::time::{Duration, Instant};
 
 /// Explicit thread-count override; 0 = unset.
@@ -36,6 +54,11 @@ static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 static BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
 /// Cumulative sweep wall-clock time, nanoseconds.
 static WALL_NANOS: AtomicU64 = AtomicU64::new(0);
+/// One-shot guard for the malformed-`NTC_JOBS` warning.
+static ENV_JOBS_WARNING: Once = Once::new();
+/// Per-index panics caught by [`sweep_catching`] since the last
+/// [`take_sweep_failures`] drain, in sweep-submission order.
+static SWEEP_FAILURES: Mutex<Vec<IndexFailure>> = Mutex::new(Vec::new());
 
 /// Force the number of worker threads for all subsequent sweeps
 /// (`--jobs N`). Pass 0 to clear the override and fall back to `NTC_JOBS`
@@ -52,10 +75,14 @@ pub fn jobs() -> usize {
         return explicit;
     }
     if let Ok(v) = std::env::var("NTC_JOBS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
+        match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => ENV_JOBS_WARNING.call_once(|| {
+                eprintln!(
+                    "warning: ignoring invalid NTC_JOBS={v:?} \
+                     (expected a positive integer); using machine parallelism"
+                );
+            }),
         }
     }
     std::thread::available_parallelism()
@@ -64,7 +91,7 @@ pub fn jobs() -> usize {
 }
 
 /// Busy/wall accounting for the sweeps run since the last [`take_stats`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SweepStats {
     /// Total worker-busy time summed over all threads.
     pub busy: Duration,
@@ -93,61 +120,158 @@ pub fn take_stats() -> SweepStats {
 /// results in index order — bit-identical to the sequential loop for any
 /// thread count (see the module docs for why).
 ///
-/// A panic in any task propagates to the caller after the scope joins.
+/// A panic in any task propagates to the caller after the scope joins;
+/// the busy/wall stats counters are recorded before the unwind resumes,
+/// so [`take_stats`] stays accurate across failed sweeps. For per-index
+/// fault isolation instead of fail-fast, see [`sweep_catching`].
 pub fn sweep<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    match sweep_impl(n, &f) {
+        Ok(out) => out,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Panic payload carried off a worker thread.
+type Payload = Box<dyn std::any::Any + Send + 'static>;
+
+/// The engine proper: returns `Err(first panic payload)` instead of
+/// unwinding so both exits flow through the same stats accounting.
+fn sweep_impl<T, F>(n: usize, f: &F) -> Result<Vec<T>, Payload>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
     let wall_start = Instant::now();
     let workers = jobs().min(n);
-    let out = if workers <= 1 {
+    let result = if workers <= 1 {
         // Inline fast path: identical semantics, zero thread overhead.
         let busy_start = Instant::now();
-        let out: Vec<T> = (0..n).map(&f).collect();
+        let out = catch_unwind(AssertUnwindSafe(|| (0..n).map(f).collect::<Vec<T>>()));
         BUSY_NANOS.fetch_add(busy_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         out
     } else {
         let next = AtomicUsize::new(0);
         let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut first_panic: Option<Payload> = None;
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let next = &next;
-                    let f = &f;
                     s.spawn(move || {
                         let busy_start = Instant::now();
                         let mut local: Vec<(usize, T)> = Vec::new();
-                        loop {
+                        // Catch inside the worker so a panicking task still
+                        // reports the thread's busy time (and its completed
+                        // results) to the join loop below.
+                        let panic = catch_unwind(AssertUnwindSafe(|| loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= n {
                                 break;
                             }
                             local.push((i, f(i)));
-                        }
-                        (local, busy_start.elapsed())
+                        }))
+                        .err();
+                        (local, busy_start.elapsed(), panic)
                     })
                 })
                 .collect();
             for h in handles {
-                match h.join() {
-                    Ok((local, busy)) => {
-                        BUSY_NANOS.fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
-                        for (i, t) in local {
-                            slots[i] = Some(t);
-                        }
-                    }
-                    Err(payload) => std::panic::resume_unwind(payload),
+                let (local, busy, panic) = h.join().expect("worker catches its own panics");
+                BUSY_NANOS.fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+                for (i, t) in local {
+                    slots[i] = Some(t);
+                }
+                if let Some(p) = panic {
+                    first_panic.get_or_insert(p);
                 }
             }
         });
-        slots
-            .into_iter()
-            .map(|s| s.expect("every index claimed exactly once"))
-            .collect()
+        match first_panic {
+            Some(p) => Err(p),
+            None => Ok(slots
+                .into_iter()
+                .map(|s| s.expect("every index claimed exactly once"))
+                .collect()),
+        }
     };
     WALL_NANOS.fetch_add(wall_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-    out
+    result
+}
+
+/// One caught per-index panic from a [`sweep_catching`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexFailure {
+    /// The sweep index whose task panicked.
+    pub index: usize,
+    /// The panic message (`&str`/`String` payloads; a placeholder
+    /// otherwise).
+    pub message: String,
+}
+
+impl std::fmt::Display for IndexFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "index {}: {}", self.index, self.message)
+    }
+}
+
+/// Best-effort human-readable rendering of a panic payload.
+fn panic_message(payload: &Payload) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Fault-isolating variant of [`sweep`]: each index runs under
+/// [`catch_unwind`], so one panicking task yields `Err(IndexFailure)` in
+/// its own slot while **every other index completes and stays
+/// bit-identical to a fully sequential run** — scheduling still cannot
+/// leak into results, and neither can a neighbour's failure.
+///
+/// Caught failures are also appended (in index order) to a process-global
+/// registry; drain it with [`take_sweep_failures`] to report them, as the
+/// `repro` binary does per experiment in its `manifest.json`. The default
+/// panic hook still prints each panic to stderr — isolation changes who
+/// survives, not who gets logged.
+pub fn sweep_catching<T, F>(n: usize, f: F) -> Vec<Result<T, IndexFailure>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let results = sweep(n, |i| {
+        catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|p| IndexFailure {
+            index: i,
+            message: panic_message(&p),
+        })
+    });
+    let failures: Vec<IndexFailure> = results
+        .iter()
+        .filter_map(|r| r.as_ref().err().cloned())
+        .collect();
+    if !failures.is_empty() {
+        SWEEP_FAILURES
+            .lock()
+            .expect("sweep-failure registry poisoned")
+            .extend(failures);
+    }
+    results
+}
+
+/// Drain the process-global registry of panics caught by
+/// [`sweep_catching`] since the last drain, in sweep-submission order.
+pub fn take_sweep_failures() -> Vec<IndexFailure> {
+    std::mem::take(
+        &mut *SWEEP_FAILURES
+            .lock()
+            .expect("sweep-failure registry poisoned"),
+    )
 }
 
 /// Keyed sweep over an explicit work list — the (chip × benchmark ×
@@ -239,5 +363,91 @@ mod tests {
         assert_eq!(jobs(), 3);
         set_jobs(0);
         assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn stats_are_recorded_when_a_sweep_panics() {
+        let _guard = JOBS_LOCK.lock().unwrap();
+        for jobs in [1, 4] {
+            set_jobs(jobs);
+            let _ = take_stats();
+            let unwound = catch_unwind(AssertUnwindSafe(|| {
+                sweep(16, |i| {
+                    if i == 7 {
+                        panic!("injected failure at {i}");
+                    }
+                    std::hint::black_box(i * 3)
+                })
+            }));
+            assert!(unwound.is_err(), "jobs={jobs}: the panic must propagate");
+            let stats = take_stats();
+            assert!(
+                stats.wall > Duration::ZERO,
+                "jobs={jobs}: wall time recorded on the unwind path"
+            );
+            assert!(
+                stats.busy > Duration::ZERO,
+                "jobs={jobs}: busy time recorded on the unwind path"
+            );
+        }
+        set_jobs(0);
+    }
+
+    #[test]
+    fn sweep_catching_isolates_panics_and_stays_deterministic() {
+        let _guard = JOBS_LOCK.lock().unwrap();
+        let _ = take_sweep_failures();
+        let run = || {
+            sweep_catching(24, |i| {
+                if i == 5 || i == 17 {
+                    panic!("chip {i} exploded");
+                }
+                let mut rng = ntc_varmodel::SplitMix64::seed_from_u64(900 + i as u64);
+                (0..64).map(|_| rng.gen_f64()).sum::<f64>()
+            })
+        };
+        set_jobs(1);
+        let sequential = run();
+        let seq_failures = take_sweep_failures();
+        set_jobs(8);
+        let parallel = run();
+        let par_failures = take_sweep_failures();
+        set_jobs(0);
+
+        assert_eq!(seq_failures, par_failures, "same failures at any thread count");
+        assert_eq!(
+            seq_failures.iter().map(|f| f.index).collect::<Vec<_>>(),
+            vec![5, 17]
+        );
+        assert_eq!(seq_failures[0].message, "chip 5 exploded");
+        for (i, (a, b)) in sequential.iter().zip(&parallel).enumerate() {
+            match (a, b) {
+                (Ok(x), Ok(y)) => {
+                    assert_eq!(x.to_bits(), y.to_bits(), "index {i} bit-identical")
+                }
+                (Err(x), Err(y)) => assert_eq!(x, y),
+                _ => panic!("index {i}: pass/fail status differs across thread counts"),
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_failure_registry_drains() {
+        let _guard = JOBS_LOCK.lock().unwrap();
+        let _ = take_sweep_failures();
+        set_jobs(1);
+        let out = sweep_catching(3, |i| {
+            if i == 1 {
+                panic!("boom");
+            }
+            i
+        });
+        set_jobs(0);
+        assert_eq!(out[0], Ok(0));
+        assert_eq!(out[2], Ok(2));
+        let failures = take_sweep_failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].index, 1);
+        assert!(take_sweep_failures().is_empty(), "drain resets the registry");
     }
 }

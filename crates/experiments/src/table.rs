@@ -73,17 +73,22 @@ impl ResultTable {
 
     /// Write the table as CSV.
     ///
+    /// Labels and headers are quoted per RFC 4180 when they contain a
+    /// comma, double quote, or line break, so a benchmark label like
+    /// `alu,dense` round-trips instead of corrupting the row. Plain
+    /// fields are written verbatim — existing golden CSVs are unchanged.
+    ///
     /// # Errors
     ///
     /// Propagates I/O errors from the writer.
     pub fn write_csv<W: Write>(&self, mut w: W) -> io::Result<()> {
         write!(w, "label")?;
         for c in &self.columns {
-            write!(w, ",{c}")?;
+            write!(w, ",{}", csv_field(c))?;
         }
         writeln!(w)?;
         for (label, values) in &self.rows {
-            write!(w, "{label}")?;
+            write!(w, "{}", csv_field(label))?;
             for v in values {
                 if v.is_finite() {
                     write!(w, ",{v}")?;
@@ -107,6 +112,17 @@ impl ResultTable {
         let f = std::fs::File::create(&path)?;
         self.write_csv(io::BufWriter::new(f))?;
         Ok(path)
+    }
+}
+
+/// Escape one CSV field per RFC 4180: wrap in double quotes (doubling any
+/// embedded quote) iff the text contains a comma, quote, or line break;
+/// return it borrowed and verbatim otherwise.
+fn csv_field(s: &str) -> std::borrow::Cow<'_, str> {
+    if s.contains([',', '"', '\n', '\r']) {
+        std::borrow::Cow::Owned(format!("\"{}\"", s.replace('"', "\"\"")))
+    } else {
+        std::borrow::Cow::Borrowed(s)
     }
 }
 
@@ -184,6 +200,62 @@ mod tests {
     fn row_width_checked() {
         let mut t = sample();
         t.push_row("bad", vec![1.0]);
+    }
+
+    /// Split one RFC 4180 CSV record back into its fields — the consumer
+    /// side of the quoting contract `write_csv` promises.
+    fn parse_csv_record(line: &str) -> Vec<String> {
+        let mut fields = vec![String::new()];
+        let mut chars = line.chars().peekable();
+        let mut quoted = false;
+        while let Some(c) = chars.next() {
+            let cur = fields.last_mut().expect("at least one field");
+            match c {
+                '"' if quoted => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cur.push('"');
+                    } else {
+                        quoted = false;
+                    }
+                }
+                '"' if cur.is_empty() => quoted = true,
+                ',' if !quoted => fields.push(String::new()),
+                c => cur.push(c),
+            }
+        }
+        fields
+    }
+
+    #[test]
+    fn special_labels_and_headers_are_quoted() {
+        let mut t = ResultTable::new("fig0.1", "Quoting", ["plain", "a,b", "say \"hi\""]);
+        t.push_row("alu,dense", vec![1.0, 2.0, 3.0]);
+        t.push_row("multi\nline", vec![4.0, 5.0, 6.0]);
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).expect("write to vec");
+        let s = String::from_utf8(buf).expect("utf8");
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "label,plain,\"a,b\",\"say \"\"hi\"\"\"");
+        assert_eq!(lines[1], "\"alu,dense\",1,2,3");
+        // Round-trip: a conforming CSV reader recovers the original texts.
+        assert_eq!(
+            parse_csv_record(lines[0]),
+            vec!["label", "plain", "a,b", "say \"hi\""]
+        );
+        assert_eq!(
+            parse_csv_record(lines[1]),
+            vec!["alu,dense", "1", "2", "3"]
+        );
+    }
+
+    #[test]
+    fn plain_labels_stay_verbatim() {
+        // Golden-CSV compatibility: quoting must not touch ordinary fields.
+        let mut buf = Vec::new();
+        sample().write_csv(&mut buf).expect("write to vec");
+        let s = String::from_utf8(buf).expect("utf8");
+        assert!(!s.contains('"'), "no quotes introduced: {s}");
     }
 
     #[test]

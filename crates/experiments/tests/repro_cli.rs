@@ -1,0 +1,155 @@
+//! End-to-end CLI contract of the `repro` binary: the exit codes and the
+//! manifest are what CI (and any downstream automation) gates on, so they
+//! get black-box regression tests against the real executable.
+//!
+//! Each test runs its own `--out` directory under the system temp dir and
+//! pins `NTC_JOBS=1` via the child environment, so tests stay independent
+//! of each other and of the host machine.
+
+use ntc_experiments::report::{parse_json, Json, MANIFEST_SCHEMA};
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// Path to the compiled `repro` binary under test.
+fn repro() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repro"));
+    cmd.env("NTC_JOBS", "1");
+    cmd
+}
+
+/// Fresh per-test output directory (removed on entry, not on exit, so a
+/// failing test leaves its evidence behind).
+fn out_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ntc-repro-cli-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn run(cmd: &mut Command) -> Output {
+    cmd.output().expect("spawn repro binary")
+}
+
+#[test]
+fn misspelled_id_among_valid_ones_exits_2_and_runs_nothing() {
+    let out = out_dir("typo");
+    // fig3.4 is real; `fgi3.10` is the misspelling from the bug report.
+    // The old harness silently dropped the typo and ran the rest.
+    let result = run(repro().args(["--fast", "--out", out.to_str().unwrap(), "fig3.4", "fgi3.10"]));
+    assert_eq!(result.status.code(), Some(2), "usage error exit code");
+    let stderr = String::from_utf8_lossy(&result.stderr);
+    assert!(stderr.contains("fgi3.10"), "names the bad id: {stderr}");
+    assert!(stderr.contains("--list"), "suggests --list: {stderr}");
+    assert!(
+        !out.exists(),
+        "no experiment may run when any requested id is unknown"
+    );
+}
+
+#[test]
+fn all_unknown_ids_still_exit_2() {
+    let result = run(repro().args(["no.such.figure"]));
+    assert_eq!(result.status.code(), Some(2));
+}
+
+#[test]
+fn csv_write_failure_exits_nonzero() {
+    // Point --out at a regular file: create_dir_all must fail, and the
+    // failure must reach the exit code (the old harness printed a warning
+    // and exited 0).
+    let blocker = std::env::temp_dir().join(format!("ntc-repro-blocker-{}", std::process::id()));
+    std::fs::write(&blocker, b"not a directory").expect("create blocker file");
+    let result = run(repro().args(["--fast", "--out", blocker.to_str().unwrap(), "fig3.4"]));
+    std::fs::remove_file(&blocker).ok();
+    assert_eq!(result.status.code(), Some(1), "CSV failure must be fatal");
+    let stderr = String::from_utf8_lossy(&result.stderr);
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(
+        stdout.contains("FAILED") || stderr.contains("FAILED"),
+        "failure is reported: stdout={stdout} stderr={stderr}"
+    );
+}
+
+#[test]
+fn json_run_writes_a_consistent_manifest() {
+    let out = out_dir("json");
+    let result = run(repro().args([
+        "--fast",
+        "--format",
+        "json",
+        "--out",
+        out.to_str().unwrap(),
+        "fig3.4",
+    ]));
+    assert_eq!(result.status.code(), Some(0));
+
+    // stdout is pure JSON lines in --format json mode.
+    let stdout = String::from_utf8(result.stdout).expect("utf8 stdout");
+    let tables: Vec<Json> = stdout
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| parse_json(l).unwrap_or_else(|e| panic!("non-JSON stdout line {l:?}: {e}")))
+        .collect();
+    assert_eq!(tables.len(), 1, "one table document per experiment");
+    assert_eq!(tables[0].get("id").unwrap().as_str(), Some("fig3.4"));
+    let rows = tables[0].get("rows").unwrap().as_arr().unwrap().len();
+    assert!(rows > 0);
+
+    // The manifest exists, parses, and agrees with the table output and
+    // the stderr status line.
+    let body = std::fs::read_to_string(out.join("manifest.json")).expect("manifest written");
+    let manifest = parse_json(&body).expect("manifest parses");
+    assert_eq!(
+        manifest.get("schema").unwrap().as_str(),
+        Some(MANIFEST_SCHEMA)
+    );
+    assert_eq!(manifest.get("passed").unwrap().as_f64(), Some(1.0));
+    assert_eq!(manifest.get("failed").unwrap().as_f64(), Some(0.0));
+    let record = &manifest.get("records").unwrap().as_arr().unwrap()[0];
+    assert_eq!(record.get("status").unwrap().as_str(), Some("pass"));
+    assert_eq!(record.get("rows").unwrap().as_f64(), Some(rows as f64));
+    assert_eq!(record.get("scale").unwrap().as_str(), Some("fast"));
+    assert_eq!(record.get("jobs").unwrap().as_f64(), Some(1.0));
+    let csv = record.get("csv").unwrap().as_str().expect("csv path");
+    assert!(std::fs::metadata(csv).is_ok(), "recorded CSV exists: {csv}");
+
+    // Oracle counters in the manifest match the human status line printed
+    // to stderr (same RunRecord on both sides).
+    let stderr = String::from_utf8_lossy(&result.stderr);
+    let sims = record
+        .get("oracle")
+        .unwrap()
+        .get("gate_sims")
+        .unwrap()
+        .as_f64()
+        .unwrap();
+    assert!(
+        stderr.contains(&format!("oracle {sims} sims")),
+        "stderr status line carries the recorded counter {sims}: {stderr}"
+    );
+    std::fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn text_run_exits_zero_and_summarizes() {
+    let out = out_dir("text");
+    let result = run(repro().args(["--fast", "--out", out.to_str().unwrap(), "fig3.4"]));
+    assert_eq!(result.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(stdout.contains("[fig3.4] ok"), "{stdout}");
+    assert!(
+        stdout.contains("# suite: 1 passed, 0 failed"),
+        "final summary line present: {stdout}"
+    );
+    assert!(out.join("manifest.json").exists());
+    std::fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn bad_flag_and_bad_format_exit_2() {
+    assert_eq!(run(repro().arg("--bogus")).status.code(), Some(2));
+    assert_eq!(
+        run(repro().args(["--format", "xml"])).status.code(),
+        Some(2)
+    );
+    assert_eq!(run(repro().args(["--jobs", "zero"])).status.code(), Some(2));
+}

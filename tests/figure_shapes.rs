@@ -6,6 +6,90 @@ use ntc_choke::experiments::{ch3, ch4, Scale};
 use ntc_choke::varmodel::Corner;
 
 #[test]
+fn manifest_shape_is_golden() {
+    use ntc_choke::core::tag_delay::take_oracle_stats;
+    use ntc_choke::experiments::report::{parse_json, Manifest, RunRecord, MANIFEST_SCHEMA};
+    use ntc_choke::experiments::runner;
+
+    // Build one record exactly the way the repro binary does: run a real
+    // experiment, drain the telemetry counters, save the CSV.
+    let _ = runner::take_stats();
+    let _ = take_oracle_stats();
+    let _ = runner::take_sweep_failures();
+    let start = std::time::Instant::now();
+    let table = ch3::fig_3_4(Scale::Fast);
+    let dir = std::env::temp_dir().join(format!("ntc-manifest-shape-{}", std::process::id()));
+    let csv = table.save_csv(&dir).expect("CSV written");
+    let record = RunRecord {
+        id: "fig3.4".to_owned(),
+        title: table.title.clone(),
+        scale: "fast".to_owned(),
+        jobs: runner::jobs(),
+        wall_s: start.elapsed().as_secs_f64(),
+        sweep: runner::take_stats(),
+        oracle: take_oracle_stats(),
+        sweep_failures: runner::take_sweep_failures(),
+        rows: table.rows.len(),
+        csv: Some(csv),
+        error: None,
+    };
+    let oracle_queries = record.oracle.queries();
+    let manifest = Manifest::new("fast", record.jobs, vec![record]);
+    let path = manifest.save(&dir).expect("manifest written");
+    let parsed = parse_json(&std::fs::read_to_string(&path).expect("readable"))
+        .expect("manifest.json parses");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Golden shape: these exact keys, in this exact order. Extending the
+    // manifest is fine — update the golden lists *and* MANIFEST_SCHEMA
+    // consumers deliberately when you do.
+    assert_eq!(parsed.get("schema").unwrap().as_str(), Some(MANIFEST_SCHEMA));
+    assert_eq!(
+        parsed.keys().unwrap(),
+        vec!["schema", "scale", "jobs", "passed", "failed", "wall_s", "records"],
+        "top-level manifest shape"
+    );
+    let rec = &parsed.get("records").unwrap().as_arr().unwrap()[0];
+    assert_eq!(
+        rec.keys().unwrap(),
+        vec![
+            "id",
+            "title",
+            "scale",
+            "jobs",
+            "wall_s",
+            "sweep_busy_ns",
+            "sweep_wall_ns",
+            "oracle",
+            "sweep_failures",
+            "rows",
+            "csv",
+            "status",
+            "error"
+        ],
+        "per-record manifest shape"
+    );
+    assert_eq!(
+        rec.get("oracle").unwrap().keys().unwrap(),
+        vec!["gate_sims", "local_hits", "shared_hits"],
+        "oracle counter shape"
+    );
+    // And the values describe the run we just made.
+    assert_eq!(rec.get("rows").unwrap().as_f64(), Some(8.0));
+    assert_eq!(rec.get("status").unwrap().as_str(), Some("pass"));
+    assert!(
+        rec.get("oracle").unwrap().get("gate_sims").unwrap().as_f64() >= Some(1.0),
+        "a fresh fig3.4 run performs gate-level simulations"
+    );
+    assert_eq!(
+        parsed.get("passed").unwrap().as_f64(),
+        Some(1.0),
+        "suite totals fold the records"
+    );
+    assert!(oracle_queries > 0, "oracle counters were drained into the record");
+}
+
+#[test]
 fn fig3_2_ntc_reaches_high_cdl_stc_does_not() {
     let stc = ch3::fig_3_2(Corner::STC, Scale::Fast);
     let ntc = ch3::fig_3_2(Corner::NTC, Scale::Fast);
