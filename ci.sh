@@ -20,6 +20,20 @@ cargo check --offline -p ntc-bench --features bench --benches
 echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> repro --list covers both registries (experiments + schemes)"
+./target/release/repro --list > target/repro-ci-list.txt
+# Spot-gate the two registries: the newest experiment id and the scheme
+# roster must appear verbatim (the exhaustive equality check lives in the
+# repro_cli integration test; this catches a stale release binary).
+grep -qx 'fig4.12' target/repro-ci-list.txt
+grep -qx 'abl.adder' target/repro-ci-list.txt
+grep -qx 'scheme dcs-icslt (DCS-ICSLT)' target/repro-ci-list.txt
+grep -qx 'scheme trident (Trident)' target/repro-ci-list.txt
+grep -qx 'scheme ocst (OCST)' target/repro-ci-list.txt
+
+echo "==> cargo doc --offline --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace -q
+
 echo "==> repro --fast fig3.4"
 ./target/release/repro --fast fig3.4
 

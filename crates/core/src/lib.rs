@@ -16,6 +16,9 @@
 //! * [`tag_delay`] — the two-phase delay oracle bridging the gate-level
 //!   timing simulation and the million-cycle instruction-level runs.
 //! * [`sim`] — the error-stream simulator and the scheme-free profiler.
+//! * [`scenario`] — the scheme registry ([`scenario::SchemeSpec`]) and the
+//!   shared per-benchmark fold ([`scenario::SimAccumulator`]) behind the
+//!   data-driven experiment grids.
 //! * [`overhead`] — gate-level synthesis of each scheme's hardware for the
 //!   overhead tables.
 //!
@@ -50,6 +53,7 @@
 pub mod baselines;
 pub mod dcs;
 pub mod overhead;
+pub mod scenario;
 pub mod scheme;
 pub mod sim;
 pub mod tables;
@@ -58,6 +62,7 @@ pub mod trident;
 
 pub use baselines::{Hfg, Ocst, Razor};
 pub use dcs::{CsltKind, Dcs};
+pub use scenario::{ChipContext, ParseSchemeError, SchemeSpec, SimAccumulator};
 pub use scheme::{CycleContext, CycleOutcome, ResilienceScheme};
 pub use sim::{profile_errors, run_scheme, ErrorProfile, SimResult};
 pub use tag_delay::{

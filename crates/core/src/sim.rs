@@ -25,8 +25,8 @@ pub struct SimResult {
     pub recovered: u64,
     /// Violations the scheme could not even see (silent corruptions).
     pub corruptions: u64,
-    /// Recovered errors by class.
-    pub recovered_by_class: HashMap<ErrorClass, u64>,
+    /// Recovered errors by class, indexed by [`ErrorClass::index`].
+    pub recovered_by_class: [u64; ErrorClass::COUNT],
     /// The scheme's constant period stretch.
     pub period_stretch: f64,
     /// The scheme's power overhead fraction.
@@ -34,6 +34,12 @@ pub struct SimResult {
 }
 
 impl SimResult {
+    /// Recovered errors of one class.
+    #[inline]
+    pub fn recovered_of(&self, class: ErrorClass) -> u64 {
+        self.recovered_by_class[class.index()]
+    }
+
     /// Prediction accuracy: correctly predicted errors over all true
     /// errors the scheme engaged with (avoided + recovered), per §3.5.2.
     pub fn prediction_accuracy(&self) -> f64 {
@@ -84,7 +90,8 @@ pub fn run_scheme(
     let mut false_positives = 0u64;
     let mut recovered = 0u64;
     let mut corruptions = 0u64;
-    let mut by_class: HashMap<ErrorClass, u64> = HashMap::new();
+    // Fixed-size per-class counters: no allocation on the recovery path.
+    let mut by_class = [0u64; ErrorClass::COUNT];
 
     // Precompute delays pairwise, streaming: delays[i] for (i-1, i).
     let mut cur_delays = oracle.delays(&trace[0], &trace[1]);
@@ -128,7 +135,7 @@ pub fn run_scheme(
             CycleOutcome::Recovered { class } => {
                 cost.add_flush(&pipe);
                 recovered += 1;
-                *by_class.entry(class).or_insert(0) += 1;
+                by_class[class.index()] += 1;
             }
             CycleOutcome::SilentCorruption => {
                 corruptions += 1;

@@ -6,7 +6,7 @@
 //!
 //! **Phase A (lazy, gate-level):** the first time a `(previous, current)`
 //! instruction pair with a given operand bucket is seen, the two vectors
-//! are pushed through the glitch-aware [`DynamicSim`] against the bound
+//! are pushed through the glitch-aware [`DynamicSim`](ntc_timing::DynamicSim) against the bound
 //! chip signature, and the resulting min/max sensitized delays are cached.
 //!
 //! **Phase B (instruction-level):** subsequent occurrences replay the
@@ -47,7 +47,7 @@ pub type SharedDelayKey = (ErrorTag, u64, u64, u64, u64);
 const CACHE_SHARDS: usize = 16;
 
 /// An N-way hash-sharded delay table: each key maps (by hash) to one of
-/// [`CACHE_SHARDS`] independently locked `HashMap`s, so Phase-A misses
+/// `CACHE_SHARDS` independently locked `HashMap`s, so Phase-A misses
 /// from parallel sweep workers no longer serialize on a single mutex.
 ///
 /// Shard choice cannot affect simulation results: every entry is a pure

@@ -9,6 +9,7 @@
 
 use crate::config::{build_oracle, Scale, CH3_REGIME, CH4_REGIME};
 use crate::runner::{sweep, sweep_over};
+use crate::scenario::{expand, fold_cells};
 use crate::table::ResultTable;
 use ntc_core::scheme::{CycleContext, CycleOutcome, ResilienceScheme};
 use ntc_core::sim::{profile_errors, run_scheme};
@@ -149,14 +150,15 @@ pub fn tag_granularity(scale: Scale) -> ResultTable {
     // Full (mode × benchmark × chip) grid in one sweep; the per-mode sums
     // below fold cells in the old nested-loop order, so the averages are
     // bit-identical at any thread count.
-    let grid: Vec<(usize, Benchmark, usize)> = (0..names.len())
+    let groups: Vec<(usize, Benchmark)> = (0..names.len())
         .flat_map(|mode| {
             [Benchmark::Gzip, Benchmark::Vortex]
                 .into_iter()
-                .flat_map(move |bench| (0..scale.chips()).map(move |chip| (mode, bench, chip)))
+                .map(move |bench| (mode, bench))
         })
         .collect();
-    let cells = sweep_over(&grid, |_, &(mode, bench, chip)| {
+    let grid = expand(&groups, scale.chips());
+    let cells = sweep_over(&grid, |_, &((mode, bench), chip)| {
         let mut oracle = build_oracle(Corner::NTC, 900 + chip as u64, false, CH3_REGIME);
         let clock = ablation_clock(&oracle);
         let trace = TraceGenerator::new(bench, 3).trace(scale.cycles() / 2);
@@ -167,18 +169,18 @@ pub fn tag_granularity(scale: Scale) -> ResultTable {
             1000.0 * r.false_positives as f64 / trace.len() as f64,
         )
     });
-    for (mode, name) in names.iter().enumerate() {
-        let mut acc = 0.0;
-        let mut fp = 0.0;
-        let mut runs = 0.0;
-        for ((m, _, _), &(a, f)) in grid.iter().zip(&cells) {
-            if *m == mode {
-                acc += a;
-                fp += f;
-                runs += 1.0;
-            }
-        }
-        t.push_row(*name, vec![acc / runs, fp / runs]);
+    let folded = fold_cells(
+        grid.iter().map(|&((m, _), _)| m),
+        cells,
+        || (0.0f64, 0.0f64, 0.0f64),
+        |(acc, fp, runs), (a, f)| {
+            *acc += a;
+            *fp += f;
+            *runs += 1.0;
+        },
+    );
+    for (mode, (acc, fp, runs)) in folded {
+        t.push_row(names[mode], vec![acc / runs, fp / runs]);
     }
     t
 }
@@ -196,10 +198,7 @@ pub fn replacement_policy(scale: Scale) -> ResultTable {
         (Policy::Fifo, "FIFO"),
         (Policy::Random, "random"),
     ];
-    let grid: Vec<(Policy, usize)> = policies
-        .iter()
-        .flat_map(|&(policy, _)| (0..scale.chips()).map(move |chip| (policy, chip)))
-        .collect();
+    let grid = expand(&policies.map(|(p, _)| p), scale.chips());
     let cells = sweep_over(&grid, |_, &(policy, chip)| {
         let mut oracle = build_oracle(Corner::NTC, 950 + chip as u64, false, CH3_REGIME);
         let clock = ablation_clock(&oracle);
@@ -207,15 +206,17 @@ pub fn replacement_policy(scale: Scale) -> ResultTable {
         let mut scheme = AblatedDcs::new(3, policy, 32);
         run_scheme(&mut scheme, &mut oracle, &trace, clock, Pipeline::core1()).prediction_accuracy()
     });
-    for (policy, name) in policies {
-        let mut acc = 0.0;
-        let mut runs = 0.0;
-        for ((p, _), a) in grid.iter().zip(&cells) {
-            if *p == policy {
-                acc += a;
-                runs += 1.0;
-            }
-        }
+    let folded = fold_cells(
+        grid.iter().map(|&(p, _)| p),
+        cells,
+        || (0.0f64, 0.0f64),
+        |(acc, runs), a| {
+            *acc += a;
+            *runs += 1.0;
+        },
+    );
+    for ((policy, (acc, runs)), (expected, name)) in folded.into_iter().zip(policies) {
+        assert_eq!(policy, expected, "fold preserves the policy order");
         t.push_row(name, vec![acc / runs]);
     }
     t
@@ -230,10 +231,7 @@ pub fn detection_window(scale: Scale) -> ResultTable {
         ["SE(Min)/1k", "SE(Max)/1k", "CE/1k"],
     );
     let fracs = [0.08f64, 0.11, 0.14, 0.17, 0.20];
-    let grid: Vec<(f64, usize)> = fracs
-        .iter()
-        .flat_map(|&frac| (0..scale.chips()).map(move |chip| (frac, chip)))
-        .collect();
+    let grid = expand(&fracs, scale.chips());
     let cells = sweep_over(&grid, |_, &(frac, chip)| {
         // The bufferless (Trident-context) netlist: the guard interval
         // trades detector safety margin against the min-error
@@ -255,17 +253,18 @@ pub fn detection_window(scale: Scale) -> ResultTable {
             p.cycles as f64,
         )
     });
-    for &frac in &fracs {
-        let mut counts = [0.0f64; 3];
-        let mut cycles = 0.0;
-        for ((f, _), (cell_counts, cell_cycles)) in grid.iter().zip(&cells) {
-            if *f == frac {
-                for k in 0..3 {
-                    counts[k] += cell_counts[k];
-                }
-                cycles += cell_cycles;
+    let folded = fold_cells(
+        grid.iter().map(|&(f, _)| f),
+        cells,
+        || ([0.0f64; 3], 0.0f64),
+        |(counts, cycles), (cell_counts, cell_cycles)| {
+            for (slot, c) in counts.iter_mut().zip(cell_counts) {
+                *slot += c;
             }
-        }
+            *cycles += cell_cycles;
+        },
+    );
+    for (frac, (counts, cycles)) in folded {
         t.push_row(
             format!("hold={:.1}%", frac * 100.0),
             counts.iter().map(|c| 1000.0 * c / cycles).collect(),

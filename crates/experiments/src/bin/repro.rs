@@ -12,7 +12,9 @@
 //! pins the sweep-engine thread count — results are bit-identical at any
 //! value, only the wall clock changes. Tables print to stdout (aligned
 //! text by default, one JSON object per line with `--format json`) and
-//! CSVs land in `--out` (default `target/repro`).
+//! CSVs land in `--out` (default `target/repro`). `--list` enumerates
+//! both registries — every experiment id, then every registered scheme as
+//! `scheme <name> (<display name>)` — and exits.
 //!
 //! Every run also writes `<out>/manifest.json`: one structured
 //! [`RunRecord`] per experiment (scale, jobs, wall time, sweep busy/wall
@@ -30,6 +32,7 @@
 //! * `2` — usage error: bad flag, or **any** requested ID matching no
 //!   experiment (a misspelled ID must never silently shrink the suite).
 
+use ntc_core::scenario::SchemeSpec;
 use ntc_core::tag_delay::take_oracle_stats;
 use ntc_experiments::report::{table_to_json, Manifest, RunRecord};
 use ntc_experiments::{all_experiments, runner, Scale};
@@ -87,8 +90,14 @@ fn run() -> i32 {
                 }
             },
             "--list" => {
+                // Both registries, so nothing can be runnable yet
+                // unlisted: experiment ids first, then the scheme roster
+                // (ci.sh diffs this output against the registries).
                 for (id, _) in all_experiments() {
                     println!("{id}");
+                }
+                for spec in SchemeSpec::roster() {
+                    println!("scheme {} ({})", spec.name(), spec.display_name());
                 }
                 return 0;
             }

@@ -2,20 +2,17 @@
 //! evaluation (3.8–3.12) and the §3.5.6 overhead table.
 
 use crate::ch3::choke_study::{run_choke_study, STUDY_OPS};
-use crate::config::{build_oracle, normalize_to_first, ClockRegime, Scale, CH3_REGIME};
-use crate::runner::{sweep_over};
+use crate::config::{build_oracle, normalize_to_first, Scale, CH3_REGIME};
+use crate::scenario::{run_grid, GridSpec, Regime};
 use crate::table::ResultTable;
-use ntc_core::baselines::{Hfg, Razor};
-use ntc_core::dcs::{CsltKind, Dcs};
 use ntc_core::overhead::{dcs_acslt_overheads, dcs_icslt_overheads, PipelineBaseline};
-use ntc_core::sim::{profile_errors, run_scheme, SimResult};
+use ntc_core::scenario::{SchemeSpec, SimAccumulator};
+use ntc_core::sim::{profile_errors, SimResult};
 use ntc_isa::Opcode;
-use ntc_pipeline::{EnergyModel, Pipeline};
+use ntc_pipeline::EnergyModel;
 use ntc_timing::ALL_CDL_CATEGORIES;
 use ntc_varmodel::Corner;
 use ntc_workload::{Benchmark, TraceGenerator, ALL_BENCHMARKS};
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
 
 /// Fig. 3.2: per-operation CGL (minimum % of gates forming a choke point)
 /// for each CDL category, at one corner.
@@ -107,59 +104,41 @@ pub fn fig_3_4(scale: Scale) -> ResultTable {
     t
 }
 
-/// Run one DCS variant over every benchmark on averaged chips, returning
-/// per-benchmark prediction accuracy (%).
-fn accuracy_sweep(kinds: &[(String, CsltKind)], scale: Scale, regime: ClockRegime) -> ResultTable {
+/// Run a roster of DCS capacity variants over every benchmark on averaged
+/// chips, returning per-benchmark prediction accuracy (%).
+fn accuracy_sweep(kinds: &[(String, SchemeSpec)], scale: Scale) -> ResultTable {
     let mut t = ResultTable::new(
         "sweep",
         "prediction accuracy (%)",
         kinds.iter().map(|(name, _)| name.clone()),
     );
-    // One sweep task per (benchmark × chip) cell; the accuracy sums below
-    // fold the returned grid in the exact order of the old nested loops
-    // (chips ascending within each benchmark), so the floating-point
-    // averages are bit-identical at any thread count.
-    let grid: Vec<(Benchmark, usize)> = ALL_BENCHMARKS
-        .iter()
-        .flat_map(|&b| (0..scale.chips()).map(move |c| (b, c)))
-        .collect();
-    let cells = sweep_over(&grid, |_, &(bench, chip)| {
-        let mut oracle = build_oracle(Corner::NTC, 100 + chip as u64, false, regime);
-        let clock = regime.clock(oracle.nominal_critical_delay_ps());
-        let trace = TraceGenerator::new(bench, 7).trace(scale.cycles());
-        kinds
-            .iter()
-            .map(|(_, kind)| {
-                let mut dcs = Dcs::new(*kind);
-                run_scheme(&mut dcs, &mut oracle, &trace, clock, Pipeline::core1())
-                    .prediction_accuracy()
-            })
-            .collect::<Vec<f64>>()
+    let grid = run_grid(&GridSpec {
+        benchmarks: ALL_BENCHMARKS.to_vec(),
+        chips: scale.chips(),
+        schemes: kinds.iter().map(|(_, s)| *s).collect(),
+        regime: Regime::Ch3,
+        chip_seed_base: 100,
+        trace_seed: 7,
+        cycles: scale.cycles(),
     });
-    let mut rows: HashMap<Benchmark, Vec<f64>> = HashMap::new();
-    for ((bench, _), accs) in grid.iter().zip(cells) {
-        let row = rows.entry(*bench).or_insert_with(|| vec![0.0; kinds.len()]);
-        for (slot, a) in row.iter_mut().zip(accs) {
-            *slot += a;
-        }
-    }
-    for bench in ALL_BENCHMARKS {
-        let mut row = rows.remove(&bench).expect("every benchmark swept");
-        for v in &mut row {
-            *v /= scale.chips() as f64;
-        }
-        t.push_row(bench.name(), row);
+    for (bench, accs) in grid.per_bench() {
+        t.push_row(
+            bench.name(),
+            accs.iter()
+                .map(SimAccumulator::mean_prediction_accuracy)
+                .collect(),
+        );
     }
     t
 }
 
 /// Fig. 3.8: DCS-ICSLT prediction accuracy vs CSLT entry count.
 pub fn fig_3_8(scale: Scale) -> ResultTable {
-    let kinds: Vec<(String, CsltKind)> = [32usize, 64, 128, 256]
+    let kinds: Vec<(String, SchemeSpec)> = [32usize, 64, 128, 256]
         .into_iter()
-        .map(|entries| (entries.to_string(), CsltKind::Independent { entries }))
+        .map(|entries| (entries.to_string(), SchemeSpec::DcsIcslt { entries }))
         .collect();
-    let mut t = accuracy_sweep(&kinds, scale, CH3_REGIME);
+    let mut t = accuracy_sweep(&kinds, scale);
     t.id = "fig3.8".into();
     t.title = "DCS-ICSLT prediction accuracy (%) vs CSLT entries".into();
     t
@@ -168,101 +147,55 @@ pub fn fig_3_8(scale: Scale) -> ResultTable {
 /// Fig. 3.9: DCS-ACSLT prediction accuracy for entry/associativity
 /// combinations.
 pub fn fig_3_9(scale: Scale) -> ResultTable {
-    let kinds: Vec<(String, CsltKind)> = [(16usize, 8usize), (16, 16), (32, 8), (32, 16)]
+    let kinds: Vec<(String, SchemeSpec)> = [(16usize, 8usize), (16, 16), (32, 8), (32, 16)]
         .into_iter()
         .map(|(entries, ways)| {
             (
                 format!("{entries}/{ways}"),
-                CsltKind::Associative {
+                SchemeSpec::DcsAcslt {
                     entries,
                     associativity: ways,
                 },
             )
         })
         .collect();
-    let mut t = accuracy_sweep(&kinds, scale, CH3_REGIME);
+    let mut t = accuracy_sweep(&kinds, scale);
     t.id = "fig3.9".into();
     t.title = "DCS-ACSLT prediction accuracy (%) vs entries/associativity".into();
     t
 }
 
-/// The full Ch. 3 comparison grid: Razor, HFG, ICSLT and ACSLT over every
-/// (benchmark × chip) cell, averaged per benchmark.
+/// One full Ch. 3 comparison (Razor, HFG, ICSLT, ACSLT) for one benchmark,
+/// aggregated over chips (summed counters, mean period stretch).
 ///
-/// Memoized per scale behind an `Arc`: Figs. 3.10–3.12 chart different
-/// columns of the *same* runs, so the grid — by far the chapter's
-/// heaviest computation — is swept once and shared. The per-benchmark
-/// fold walks the sweep results in the old sequential order (chips
-/// ascending), keeping the order-sensitive stretch average bit-identical
-/// at any thread count.
-fn ch3_compare_all(scale: Scale) -> Arc<HashMap<Benchmark, Vec<SimResult>>> {
-    type Memo = Mutex<HashMap<Scale, Arc<HashMap<Benchmark, Vec<SimResult>>>>>;
-    static MEMO: OnceLock<Memo> = OnceLock::new();
-    let memo = MEMO.get_or_init(Default::default);
-    if let Some(hit) = memo.lock().expect("ch3 memo poisoned").get(&scale) {
-        return hit.clone();
-    }
-    let grid: Vec<(Benchmark, usize)> = ALL_BENCHMARKS
-        .iter()
-        .flat_map(|&b| (0..scale.chips()).map(move |c| (b, c)))
-        .collect();
-    let cells = sweep_over(&grid, |_, &(bench, chip)| {
-        // Chip sample re-pinned for the in-tree SplitMix64 lottery: this
-        // base draws dice whose post-silicon guardband spread reproduces
-        // the paper's qualitative ordering (HFG worst on most benchmarks).
-        let mut oracle = build_oracle(Corner::NTC, 220 + chip as u64, false, CH3_REGIME);
-        let clock = CH3_REGIME.clock(oracle.nominal_critical_delay_ps());
-        let trace = TraceGenerator::new(bench, 7).trace(scale.cycles());
-
-        let mut razor = Razor::ch3();
-        let r_razor = run_scheme(&mut razor, &mut oracle, &trace, clock, Pipeline::core1());
-        // HFG's sensor-driven guardband must cover the chip's post-silicon
-        // worst case — the static critical delay of the PV-affected die —
-        // because the controller cannot know which paths a workload will
-        // sensitize. That conservatism is exactly why the paper finds HFG
-        // worst across the board (§3.5.4).
-        let stretch = (oracle.static_critical_delay_ps() * 1.02 / clock.period_ps).max(1.0);
-        let mut hfg = Hfg::with_stretch(stretch);
-        let r_hfg = run_scheme(&mut hfg, &mut oracle, &trace, clock, Pipeline::core1());
-        let mut icslt = Dcs::icslt_default();
-        let r_icslt = run_scheme(&mut icslt, &mut oracle, &trace, clock, Pipeline::core1());
-        let mut acslt = Dcs::acslt_default();
-        let r_acslt = run_scheme(&mut acslt, &mut oracle, &trace, clock, Pipeline::core1());
-        vec![r_razor, r_hfg, r_icslt, r_acslt]
-    });
-    let mut map: HashMap<Benchmark, Vec<SimResult>> = HashMap::new();
-    for ((bench, _), results) in grid.iter().zip(cells) {
-        match map.entry(*bench) {
-            std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(results);
-            }
-            std::collections::hash_map::Entry::Occupied(mut o) => {
-                for (agg, r) in o.get_mut().iter_mut().zip(results) {
-                    agg.cost.stall_cycles += r.cost.stall_cycles;
-                    agg.cost.flush_cycles += r.cost.flush_cycles;
-                    agg.cost.flush_events += r.cost.flush_events;
-                    agg.cost.instructions += r.cost.instructions;
-                    agg.avoided += r.avoided;
-                    agg.false_positives += r.false_positives;
-                    agg.recovered += r.recovered;
-                    agg.corruptions += r.corruptions;
-                    // Period stretch differs per chip for HFG: average it.
-                    agg.period_stretch = (agg.period_stretch + r.period_stretch) / 2.0;
-                }
-            }
-        }
-    }
-    let shared = Arc::new(map);
-    memo.lock()
-        .expect("ch3 memo poisoned")
-        .insert(scale, shared.clone());
-    shared
-}
-
-/// One full Ch. 3 comparison run (Razor, HFG, ICSLT, ACSLT) for one
-/// benchmark, averaged over chips.
+/// Figs. 3.10–3.12 chart different columns of the *same* grid — by far the
+/// chapter's heaviest computation — which the scenario engine's spec-keyed
+/// cache sweeps once and shares. Chip seed base 220 is re-pinned for the
+/// in-tree SplitMix64 lottery: it draws dice whose post-silicon guardband
+/// spread reproduces the paper's qualitative ordering (HFG worst on most
+/// benchmarks, §3.5.4).
 fn ch3_compare(bench: Benchmark, scale: Scale) -> Vec<SimResult> {
-    ch3_compare_all(scale)[&bench].clone()
+    let grid = run_grid(&GridSpec {
+        benchmarks: ALL_BENCHMARKS.to_vec(),
+        chips: scale.chips(),
+        schemes: vec![
+            SchemeSpec::RazorCh3,
+            SchemeSpec::Hfg,
+            SchemeSpec::DcsIcslt { entries: 128 },
+            SchemeSpec::DcsAcslt {
+                entries: 32,
+                associativity: 16,
+            },
+        ],
+        regime: Regime::Ch3,
+        chip_seed_base: 220,
+        trace_seed: 7,
+        cycles: scale.cycles(),
+    });
+    grid.benchmark(bench)
+        .iter()
+        .map(SimAccumulator::result)
+        .collect()
 }
 
 /// Fig. 3.10: recovery penalty of Razor / DCS-ICSLT / DCS-ACSLT,

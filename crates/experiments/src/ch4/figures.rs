@@ -4,21 +4,20 @@
 
 use crate::config::{build_oracle, normalize_to_first, Scale, CH4_REGIME};
 use crate::runner::{sweep, sweep_over};
+use crate::scenario::{expand, fold_cells, run_grid, GridSpec, Regime};
 use crate::table::ResultTable;
-use ntc_core::baselines::{Ocst, Razor};
 use ntc_core::overhead::{trident_overheads, PipelineBaseline};
-use ntc_core::sim::{profile_errors, run_scheme, SimResult};
-use ntc_core::trident::Trident;
+use ntc_core::scenario::{SchemeSpec, SimAccumulator};
+use ntc_core::sim::{profile_errors, SimResult};
 use ntc_isa::{Instruction, Opcode};
 use ntc_netlist::buffer_insertion::insert_hold_buffers;
 use ntc_netlist::generators::alu::Alu;
-use ntc_pipeline::{EnergyModel, Pipeline};
+use ntc_pipeline::EnergyModel;
 use ntc_timing::{DynamicSim, ErrorClass};
 use ntc_varmodel::rng::SplitMix64;
 use ntc_varmodel::{ChipSignature, Corner, VariationParams};
 use ntc_workload::{Benchmark, TraceGenerator, ALL_BENCHMARKS};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
 
 /// The fifteen instructions of Fig. 4.2 / 4.3 / 4.4.
 pub const STUDY_INSTRUCTIONS: [Opcode; 15] = [
@@ -328,10 +327,7 @@ pub fn fig_4_8(scale: Scale) -> ResultTable {
         "Error-class distribution per benchmark (%)",
         ["SE(Min)", "SE(Max)", "CE"],
     );
-    let grid: Vec<(Benchmark, usize)> = ALL_BENCHMARKS
-        .iter()
-        .flat_map(|&b| (0..scale.chips()).map(move |c| (b, c)))
-        .collect();
+    let grid = expand(&ALL_BENCHMARKS, scale.chips());
     let cells = sweep_over(&grid, |_, &(bench, chip)| {
         // Chip sample re-pinned for the in-tree SplitMix64 lottery:
         // this base draws dice exhibiting all three error classes on
@@ -346,15 +342,17 @@ pub fn fig_4_8(scale: Scale) -> ResultTable {
             p.class_count(ErrorClass::Consecutive),
         ]
     });
-    let mut per_bench: HashMap<Benchmark, [u64; 3]> = HashMap::new();
-    for ((bench, _), cell) in grid.iter().zip(cells) {
-        let counts = per_bench.entry(*bench).or_insert([0; 3]);
-        for k in 0..3 {
-            counts[k] += cell[k];
-        }
-    }
-    for bench in ALL_BENCHMARKS {
-        let counts = per_bench.get(&bench).copied().unwrap_or([0; 3]);
+    let per_bench = fold_cells(
+        grid.iter().map(|&(b, _)| b),
+        cells,
+        || [0u64; 3],
+        |counts, cell| {
+            for (slot, c) in counts.iter_mut().zip(cell) {
+                *slot += c;
+            }
+        },
+    );
+    for (bench, counts) in per_bench {
         let total = counts.iter().sum::<u64>().max(1) as f64;
         t.push_row(
             bench.name(),
@@ -372,122 +370,54 @@ pub fn fig_4_9(scale: Scale) -> ResultTable {
         "Trident prediction accuracy (%) vs CET entries",
         sizes.iter().map(|s| s.to_string()),
     );
-    // (benchmark × chip) grid; accuracy sums fold in the old nested-loop
-    // order (chips ascending per benchmark) so the floating-point averages
-    // stay bit-identical at any thread count.
-    let grid: Vec<(Benchmark, usize)> = ALL_BENCHMARKS
-        .iter()
-        .flat_map(|&b| (0..scale.chips()).map(move |c| (b, c)))
-        .collect();
-    let cells = sweep_over(&grid, |_, &(bench, chip)| {
-        let mut oracle = build_oracle(Corner::NTC, 0x49 + chip as u64, false, CH4_REGIME);
-        let trace = TraceGenerator::new(bench, 13).trace(scale.cycles());
-        let tdc_clock = CH4_REGIME.tdc_clock(oracle.nominal_critical_delay_ps());
-        sizes
+    let grid = run_grid(&GridSpec {
+        benchmarks: ALL_BENCHMARKS.to_vec(),
+        chips: scale.chips(),
+        schemes: sizes
             .iter()
-            .map(|&entries| {
-                let mut trident = Trident::new(entries);
-                run_scheme(&mut trident, &mut oracle, &trace, tdc_clock, Pipeline::core1())
-                    .prediction_accuracy()
-            })
-            .collect::<Vec<f64>>()
+            .map(|&cet_entries| SchemeSpec::Trident { cet_entries })
+            .collect(),
+        regime: Regime::Ch4,
+        chip_seed_base: 0x49,
+        trace_seed: 13,
+        cycles: scale.cycles(),
     });
-    let mut rows: HashMap<Benchmark, Vec<f64>> = HashMap::new();
-    for ((bench, _), accs) in grid.iter().zip(cells) {
-        let row = rows.entry(*bench).or_insert_with(|| vec![0.0; sizes.len()]);
-        for (slot, a) in row.iter_mut().zip(accs) {
-            *slot += a;
-        }
-    }
-    for bench in ALL_BENCHMARKS {
-        let mut row = rows.remove(&bench).expect("every benchmark swept");
-        for v in &mut row {
-            *v /= scale.chips() as f64;
-        }
-        t.push_row(bench.name(), row);
+    for (bench, accs) in grid.per_bench() {
+        t.push_row(
+            bench.name(),
+            accs.iter()
+                .map(SimAccumulator::mean_prediction_accuracy)
+                .collect(),
+        );
     }
     t
 }
 
-/// The full Ch. 4 comparison grid: Razor, OCST and Trident over every
-/// (benchmark × chip) cell, summed per benchmark. Razor and OCST run on
-/// the buffered netlist (their design requires it); Trident runs
-/// bufferless.
-///
-/// Memoized per scale behind an `Arc`: Figs. 4.10–4.12 chart different
-/// columns of the *same* runs, so the grid is swept once and shared. The
-/// per-benchmark fold walks the sweep results in the old sequential order
-/// (chips ascending); every accumulator is an integer counter, so the
-/// merge is exact regardless.
-fn ch4_compare_all(scale: Scale) -> Arc<HashMap<Benchmark, Vec<SimResult>>> {
-    type Memo = Mutex<HashMap<Scale, Arc<HashMap<Benchmark, Vec<SimResult>>>>>;
-    static MEMO: OnceLock<Memo> = OnceLock::new();
-    let memo = MEMO.get_or_init(Default::default);
-    if let Some(hit) = memo.lock().expect("ch4 memo poisoned").get(&scale) {
-        return hit.clone();
-    }
-    let grid: Vec<(Benchmark, usize)> = ALL_BENCHMARKS
-        .iter()
-        .flat_map(|&b| (0..scale.chips()).map(move |c| (b, c)))
-        .collect();
-    let cells = sweep_over(&grid, |_, &(bench, chip)| {
-        let seed = 400 + chip as u64;
-        let mut oracle_buf = build_oracle(Corner::NTC, seed, true, CH4_REGIME);
-        let mut oracle_bare = build_oracle(Corner::NTC, seed, false, CH4_REGIME);
-        let clock = CH4_REGIME.clock(oracle_bare.nominal_critical_delay_ps());
-        let trace = TraceGenerator::new(bench, 17).trace(scale.cycles());
-
-        let tdc_clock = CH4_REGIME.tdc_clock(oracle_bare.nominal_critical_delay_ps());
-
-        let mut razor = Razor::ch4();
-        let r_razor = run_scheme(&mut razor, &mut oracle_buf, &trace, clock, Pipeline::core1());
-        // The paper tunes every 100 k cycles over 1 M-cycle runs (ten
-        // tuning opportunities); shorter fast-scale traces keep the same
-        // tuning-to-run ratio.
-        let interval = (scale.cycles() as u64 / 10).clamp(1, 100_000);
-        let mut ocst = Ocst::new(interval, 0.30);
-        let r_ocst = run_scheme(&mut ocst, &mut oracle_buf, &trace, clock, Pipeline::core1());
-        let mut trident = Trident::paper();
-        let r_trident = run_scheme(
-            &mut trident,
-            &mut oracle_bare,
-            &trace,
-            tdc_clock,
-            Pipeline::core1(),
-        );
-        vec![r_razor, r_ocst, r_trident]
-    });
-    let mut map: HashMap<Benchmark, Vec<SimResult>> = HashMap::new();
-    for ((bench, _), results) in grid.iter().zip(cells) {
-        match map.entry(*bench) {
-            std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(results);
-            }
-            std::collections::hash_map::Entry::Occupied(mut o) => {
-                for (agg, r) in o.get_mut().iter_mut().zip(results) {
-                    agg.cost.stall_cycles += r.cost.stall_cycles;
-                    agg.cost.flush_cycles += r.cost.flush_cycles;
-                    agg.cost.flush_events += r.cost.flush_events;
-                    agg.cost.instructions += r.cost.instructions;
-                    agg.avoided += r.avoided;
-                    agg.false_positives += r.false_positives;
-                    agg.recovered += r.recovered;
-                    agg.corruptions += r.corruptions;
-                }
-            }
-        }
-    }
-    let shared = Arc::new(map);
-    memo.lock()
-        .expect("ch4 memo poisoned")
-        .insert(scale, shared.clone());
-    shared
-}
-
 /// One full Ch. 4 comparison (Razor, OCST, Trident) for one benchmark,
-/// summed over chips.
+/// summed over chips. Razor and OCST run on the buffered netlist (their
+/// double-sampling design requires it); Trident runs bufferless against
+/// the TDC guard-interval clock — the registry encodes both choices.
+///
+/// Figs. 4.10–4.12 chart different columns of the *same* grid, which the
+/// scenario engine's spec-keyed cache sweeps once and shares.
 fn ch4_compare(bench: Benchmark, scale: Scale) -> Vec<SimResult> {
-    ch4_compare_all(scale)[&bench].clone()
+    let grid = run_grid(&GridSpec {
+        benchmarks: ALL_BENCHMARKS.to_vec(),
+        chips: scale.chips(),
+        schemes: vec![
+            SchemeSpec::RazorCh4,
+            SchemeSpec::Ocst,
+            SchemeSpec::Trident { cet_entries: 128 },
+        ],
+        regime: Regime::Ch4,
+        chip_seed_base: 400,
+        trace_seed: 17,
+        cycles: scale.cycles(),
+    });
+    grid.benchmark(bench)
+        .iter()
+        .map(SimAccumulator::result)
+        .collect()
 }
 
 /// Fig. 4.10: penalty cycles of Razor / OCST / Trident, normalized to

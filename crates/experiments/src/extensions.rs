@@ -14,6 +14,7 @@
 
 use crate::config::{build_oracle, Scale, CH3_REGIME};
 use crate::runner::{sweep, sweep_over};
+use crate::scenario::{expand, fold_cells};
 use crate::table::ResultTable;
 use ntc_core::baselines::Razor;
 use ntc_core::dcs::Dcs;
@@ -156,10 +157,7 @@ pub fn stall_sufficiency(scale: Scale) -> ResultTable {
         ["<= 2T", "> 2T"],
     );
     let benches = [Benchmark::Gzip, Benchmark::Mcf, Benchmark::Vortex];
-    let grid: Vec<(Benchmark, usize)> = benches
-        .iter()
-        .flat_map(|&b| (0..scale.chips()).map(move |c| (b, c)))
-        .collect();
+    let grid = expand(&benches, scale.chips());
     let cells = sweep_over(&grid, |_, &(bench, chip)| {
         let mut oracle = build_oracle(Corner::NTC, 600 + chip as u64, false, CH3_REGIME);
         let clock = CH3_REGIME.clock(oracle.nominal_critical_delay_ps());
@@ -179,15 +177,16 @@ pub fn stall_sufficiency(scale: Scale) -> ResultTable {
         }
         (within, beyond)
     });
-    for &bench in &benches {
-        let mut within = 0u64;
-        let mut beyond = 0u64;
-        for ((b, _), &(w, y)) in grid.iter().zip(&cells) {
-            if *b == bench {
-                within += w;
-                beyond += y;
-            }
-        }
+    let folded = fold_cells(
+        grid.iter().map(|&(b, _)| b),
+        cells,
+        || (0u64, 0u64),
+        |(within, beyond), (w, y)| {
+            *within += w;
+            *beyond += y;
+        },
+    );
+    for (bench, (within, beyond)) in folded {
         let total = (within + beyond).max(1) as f64;
         t.push_row(
             bench.name(),

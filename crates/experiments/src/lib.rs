@@ -12,6 +12,12 @@
 //! * [`ch4`] — the Trident study (Figs. 4.2–4.4, 4.8–4.12, §4.5.7);
 //! * [`ablation`] — ablations over the design choices DESIGN.md calls out.
 //!
+//! Grid-shaped runners (a scheme roster compared over benchmarks × chips)
+//! are expressed as [`scenario::GridSpec`]s and executed by
+//! [`scenario::run_grid`], which drives the registered
+//! [`ntc_core::scenario::SchemeSpec`]s through the parallel sweep engine
+//! and folds per benchmark with one shared accumulator.
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -31,6 +37,7 @@ pub mod config;
 pub mod extensions;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod table;
 
 pub use config::{build_oracle, normalize_to_first, ClockRegime, Scale, CH3_REGIME, CH4_REGIME};
@@ -39,6 +46,7 @@ pub use runner::{
     set_jobs, sweep, sweep_catching, sweep_over, take_stats, take_sweep_failures, IndexFailure,
     SweepStats,
 };
+pub use scenario::{run_grid, run_grid_uncached, GridResult, GridSpec, Regime};
 pub use table::ResultTable;
 
 /// One named experiment: its figure/table id and scale-parametric runner.

@@ -1,0 +1,271 @@
+//! The grid driver of the scenario engine: expand (benchmarks × chips ×
+//! schemes) into cells, run them through the deterministic parallel sweep,
+//! and fold per benchmark with [`SimAccumulator`].
+//!
+//! A [`GridSpec`] is the complete, hashable description of one comparison
+//! experiment — which benchmarks, how many chips, which registered schemes
+//! ([`SchemeSpec`]), which clocking [`Regime`], and the seed policy. All
+//! figure runners that compare schemes over a (benchmark × chip) grid go
+//! through [`run_grid`], which replaces the per-chapter memo caches with
+//! one cache keyed by the spec itself: two figures charting different
+//! columns of the same grid share one sweep automatically.
+//!
+//! # Canonical seed policy
+//!
+//! * chip `c` of a grid is fabricated with seed `chip_seed_base + c` — the
+//!   same dice across every benchmark and scheme of the grid;
+//! * every benchmark trace is generated with the grid's single
+//!   `trace_seed` — schemes within a grid see identical instruction
+//!   streams.
+//!
+//! # Fold semantics
+//!
+//! Cells run in parallel but fold in grid index order (chips ascending
+//! within each benchmark), so every per-benchmark aggregate — including
+//! the floating-point accuracy and stretch sums — is bit-identical to the
+//! sequential fold at any `--jobs` count (pinned by the determinism test
+//! in `tests/scenario_grid.rs`).
+
+use crate::config::{build_oracle, ClockRegime, CH3_REGIME, CH4_REGIME};
+use crate::runner::sweep_over;
+use ntc_core::scenario::{ChipContext, SchemeSpec, SimAccumulator};
+use ntc_core::sim::{run_scheme, SimResult};
+use ntc_pipeline::Pipeline;
+use ntc_varmodel::Corner;
+use ntc_workload::{Benchmark, TraceGenerator};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The two evaluation regimes of the study, as grid-spec data (the
+/// hashable face of [`CH3_REGIME`] / [`CH4_REGIME`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Regime {
+    /// The Chapter-3 regime: timing-speculative clock, max side only.
+    Ch3,
+    /// The Chapter-4 regime: aggressive clock plus the Razor hold window.
+    Ch4,
+}
+
+impl Regime {
+    /// The regime's clock fractions.
+    pub fn params(self) -> ClockRegime {
+        match self {
+            Regime::Ch3 => CH3_REGIME,
+            Regime::Ch4 => CH4_REGIME,
+        }
+    }
+}
+
+/// Complete description of one (benchmarks × chips × schemes) comparison
+/// grid. Hashable: the spec itself keys the global grid cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GridSpec {
+    /// Benchmarks to run, in output row order.
+    pub benchmarks: Vec<Benchmark>,
+    /// Fabricated chips averaged per benchmark.
+    pub chips: usize,
+    /// Registered schemes to compare, in output column order.
+    pub schemes: Vec<SchemeSpec>,
+    /// Which evaluation regime clocks the grid.
+    pub regime: Regime,
+    /// Chip `c` is fabricated with seed `chip_seed_base + c`.
+    pub chip_seed_base: u64,
+    /// Seed of every benchmark's trace generator.
+    pub trace_seed: u64,
+    /// Trace length per cell, instructions.
+    pub cycles: usize,
+}
+
+/// The folded output of [`run_grid`]: per benchmark, one
+/// [`SimAccumulator`] per scheme (in the spec's scheme order).
+#[derive(Debug)]
+pub struct GridResult {
+    schemes: Vec<SchemeSpec>,
+    per_bench: Vec<(Benchmark, Vec<SimAccumulator>)>,
+}
+
+impl GridResult {
+    /// The grid's schemes, in column order.
+    pub fn schemes(&self) -> &[SchemeSpec] {
+        &self.schemes
+    }
+
+    /// Per-benchmark accumulator rows, in the spec's benchmark order.
+    pub fn per_bench(&self) -> &[(Benchmark, Vec<SimAccumulator>)] {
+        &self.per_bench
+    }
+
+    /// One benchmark's accumulators, in scheme order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the benchmark was not part of the grid.
+    pub fn benchmark(&self, bench: Benchmark) -> &[SimAccumulator] {
+        self.per_bench
+            .iter()
+            .find(|(b, _)| *b == bench)
+            .map(|(_, accs)| accs.as_slice())
+            .unwrap_or_else(|| panic!("benchmark {} not in this grid", bench.name()))
+    }
+}
+
+/// Expand per-group work into a (group × chip) grid, chips ascending
+/// within each group — the canonical cell order every grid fold assumes.
+pub fn expand<G: Copy>(groups: &[G], chips: usize) -> Vec<(G, usize)> {
+    groups
+        .iter()
+        .flat_map(|&g| (0..chips).map(move |c| (g, c)))
+        .collect()
+}
+
+/// Fold sweep cells per key, visiting cells in index order (the order
+/// [`sweep_over`] returns, i.e. the sequential order) so floating-point
+/// folds are bit-identical at any thread count. Output keys appear in
+/// first-occurrence order.
+///
+/// # Panics
+///
+/// Panics if `keys` yields fewer items than `cells`.
+pub fn fold_cells<K, T, A>(
+    keys: impl IntoIterator<Item = K>,
+    cells: Vec<T>,
+    mut init: impl FnMut() -> A,
+    mut fold: impl FnMut(&mut A, T),
+) -> Vec<(K, A)>
+where
+    K: PartialEq + Copy,
+{
+    let mut out: Vec<(K, A)> = Vec::new();
+    let mut keys = keys.into_iter();
+    for cell in cells {
+        let key = keys.next().expect("a key per cell");
+        let idx = match out.iter().position(|(k, _)| *k == key) {
+            Some(i) => i,
+            None => {
+                out.push((key, init()));
+                out.len() - 1
+            }
+        };
+        fold(&mut out[idx].1, cell);
+    }
+    out
+}
+
+/// One (benchmark, chip) cell: build the chip's oracle(s), derive the
+/// regime clocks from the *bare* die's nominal critical delay (the
+/// canonical clock policy — buffer padding must not slow the target
+/// clock), and run every scheme of the spec over one shared trace.
+fn run_cell(spec: &GridSpec, bench: Benchmark, chip: usize, need_buffered: bool) -> Vec<SimResult> {
+    let regime = spec.regime.params();
+    let seed = spec.chip_seed_base + chip as u64;
+    let mut bare = build_oracle(Corner::NTC, seed, false, regime);
+    let mut buffered = need_buffered.then(|| build_oracle(Corner::NTC, seed, true, regime));
+    let nominal = bare.nominal_critical_delay_ps();
+    let clock = regime.clock(nominal);
+    let tdc_clock = regime.tdc_clock(nominal);
+    let trace = TraceGenerator::new(bench, spec.trace_seed).trace(spec.cycles);
+    spec.schemes
+        .iter()
+        .map(|s| {
+            let oracle = if s.wants_buffered_netlist() {
+                buffered.as_mut().expect("buffered oracle built on demand")
+            } else {
+                &mut bare
+            };
+            let scheme_clock = if s.uses_tdc_clock() { tdc_clock } else { clock };
+            let ctx = ChipContext {
+                static_critical_delay_ps: oracle.static_critical_delay_ps(),
+                clock: scheme_clock,
+                trace_len: trace.len(),
+            };
+            let mut scheme = s.build(&ctx);
+            run_scheme(scheme.as_mut(), oracle, &trace, scheme_clock, Pipeline::core1())
+        })
+        .collect()
+}
+
+/// Run a grid without consulting or filling the cache: cells through
+/// [`sweep_over`], fold per benchmark in index order. This is the
+/// function the thread-count determinism test exercises.
+pub fn run_grid_uncached(spec: &GridSpec) -> GridResult {
+    let need_buffered = spec.schemes.iter().any(SchemeSpec::wants_buffered_netlist);
+    let grid = expand(&spec.benchmarks, spec.chips);
+    let cells = sweep_over(&grid, |_, &(bench, chip)| {
+        run_cell(spec, bench, chip, need_buffered)
+    });
+    let per_bench = fold_cells(
+        grid.iter().map(|&(b, _)| b),
+        cells,
+        || vec![SimAccumulator::default(); spec.schemes.len()],
+        |accs, results| {
+            for (acc, r) in accs.iter_mut().zip(&results) {
+                acc.push(r);
+            }
+        },
+    );
+    GridResult {
+        schemes: spec.schemes.clone(),
+        per_bench,
+    }
+}
+
+/// Run a grid through the global cache: the spec is the key, so figures
+/// charting different columns of the same grid — or repeat invocations at
+/// the same scale — share one sweep.
+pub fn run_grid(spec: &GridSpec) -> Arc<GridResult> {
+    type Memo = Mutex<HashMap<GridSpec, Arc<GridResult>>>;
+    static MEMO: OnceLock<Memo> = OnceLock::new();
+    let memo = MEMO.get_or_init(Default::default);
+    if let Some(hit) = memo.lock().expect("grid memo poisoned").get(spec) {
+        return hit.clone();
+    }
+    let result = Arc::new(run_grid_uncached(spec));
+    memo.lock()
+        .expect("grid memo poisoned")
+        .insert(spec.clone(), result.clone());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expand_orders_chips_within_groups() {
+        let grid = expand(&['a', 'b'], 3);
+        assert_eq!(
+            grid,
+            vec![('a', 0), ('a', 1), ('a', 2), ('b', 0), ('b', 1), ('b', 2)]
+        );
+    }
+
+    #[test]
+    fn fold_cells_folds_in_index_order_and_keys_in_first_occurrence_order() {
+        let keys = ["b", "b", "a", "a"];
+        let cells = vec![1u64, 2, 10, 20];
+        let folded = fold_cells(keys, cells, Vec::new, |acc, c| acc.push(c));
+        assert_eq!(folded, vec![("b", vec![1, 2]), ("a", vec![10, 20])]);
+    }
+
+    #[test]
+    fn cached_and_uncached_grids_agree() {
+        let spec = GridSpec {
+            benchmarks: vec![Benchmark::Mcf],
+            chips: 1,
+            schemes: vec![SchemeSpec::RazorCh3, SchemeSpec::DcsIcslt { entries: 32 }],
+            regime: Regime::Ch3,
+            chip_seed_base: 220,
+            trace_seed: 7,
+            cycles: 2_000,
+        };
+        let cached = run_grid(&spec);
+        let fresh = run_grid_uncached(&spec);
+        assert_eq!(cached.schemes(), fresh.schemes());
+        for ((b1, a1), (b2, a2)) in cached.per_bench().iter().zip(fresh.per_bench()) {
+            assert_eq!(b1, b2);
+            assert_eq!(a1, a2);
+        }
+        // A second cached call returns the same Arc.
+        assert!(Arc::ptr_eq(&cached, &run_grid(&spec)));
+    }
+}

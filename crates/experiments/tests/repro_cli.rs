@@ -6,6 +6,8 @@
 //! pins `NTC_JOBS=1` via the child environment, so tests stay independent
 //! of each other and of the host machine.
 
+use ntc_core::scenario::SchemeSpec;
+use ntc_experiments::all_experiments;
 use ntc_experiments::report::{parse_json, Json, MANIFEST_SCHEMA};
 use std::path::PathBuf;
 use std::process::{Command, Output};
@@ -27,6 +29,39 @@ fn out_dir(tag: &str) -> PathBuf {
 
 fn run(cmd: &mut Command) -> Output {
     cmd.output().expect("spawn repro binary")
+}
+
+#[test]
+fn list_enumerates_both_registries_exactly() {
+    // `--list` is the discovery surface ci.sh gates on: its output must be
+    // exactly the experiment registry followed by the scheme registry —
+    // nothing runnable may be unlisted, nothing listed may be stale.
+    let result = run(repro().arg("--list"));
+    assert_eq!(result.status.code(), Some(0));
+    let stdout = String::from_utf8(result.stdout).expect("utf8 stdout");
+    let expected: Vec<String> = all_experiments()
+        .into_iter()
+        .map(|(id, _)| id.to_owned())
+        .chain(
+            SchemeSpec::roster()
+                .iter()
+                .map(|s| format!("scheme {} ({})", s.name(), s.display_name())),
+        )
+        .collect();
+    assert_eq!(
+        stdout.lines().collect::<Vec<_>>(),
+        expected.iter().map(String::as_str).collect::<Vec<_>>(),
+        "--list must mirror all_experiments() then SchemeSpec::roster()"
+    );
+    // Every listed scheme name parses back through the registry.
+    for line in stdout.lines().filter(|l| l.starts_with("scheme ")) {
+        let name = line["scheme ".len()..]
+            .split_whitespace()
+            .next()
+            .expect("scheme line has a name");
+        SchemeSpec::parse(name)
+            .unwrap_or_else(|e| panic!("listed scheme `{name}` must parse: {e}"));
+    }
 }
 
 #[test]

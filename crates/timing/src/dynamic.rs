@@ -25,7 +25,7 @@
 //!
 //! # Allocation discipline
 //!
-//! All per-net state is inline: a [`Wave`] holds a fixed-capacity
+//! All per-net state is inline: a `Wave` holds a fixed-capacity
 //! `[f64; MAX_EVENTS_PER_NET]` instead of a heap `Vec`, candidate times
 //! live in a fixed stack array, and the settle/dirty buffers belong to a
 //! reusable [`SimWorkspace`]. After warm-up, [`SimWorkspace`]'s

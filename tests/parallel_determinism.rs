@@ -24,11 +24,13 @@ fn csv_of(id: &str, scale: Scale) -> Vec<u8> {
 
 #[test]
 fn experiment_csvs_are_identical_at_any_thread_count() {
-    // One multi-chip experiment per chapter, neither behind a result memo
-    // (the compare grids cache their tables, which would short-circuit the
-    // second run). fig3.9 folds f64 accuracies — order-sensitive; fig4.9
-    // does the same over the buffered ch4 netlist.
-    for id in ["fig3.9", "fig4.9"] {
+    // Two multi-chip experiments, neither behind a result memo (the
+    // scenario engine's grid cache would short-circuit the second run of
+    // any run_grid experiment — run_grid_uncached has its own determinism
+    // test in scenario_grid.rs). abl.tags folds f64 accuracies across a
+    // (mode × benchmark × chip) grid — order-sensitive; abl.window folds
+    // f64 error-population counts over the ch4 bufferless netlist.
+    for id in ["abl.tags", "abl.window"] {
         runner::set_jobs(1);
         let sequential = csv_of(id, Scale::Fast);
         assert!(!sequential.is_empty(), "{id}: empty CSV");
@@ -49,14 +51,14 @@ fn experiment_csvs_are_identical_at_any_thread_count() {
     // experiment touched the shared cache first.
     let mut memoized = ntc_choke::experiments::config::build_oracle(
         Corner::NTC,
-        100, // fig3.9's first chip: seed base 100 + chip 0
+        900, // abl.tags' first chip: seed base 900 + chip 0
         false,
         ntc_choke::experiments::config::CH3_REGIME,
     );
     let mut fresh = TagDelayOracle::for_chip(
         Corner::NTC,
         VariationParams::ntc(),
-        100,
+        900,
         OracleConfig::default(),
     );
     let probe = TraceGenerator::new(Benchmark::Gap, 0xD15C).trace(500);

@@ -117,7 +117,7 @@ fn every_scheme_satisfies_the_universal_invariants() {
             r.avoided + r.false_positives
         );
         // Recoveries-by-class sums to the recovery counter.
-        let by_class: u64 = r.recovered_by_class.values().sum();
+        let by_class: u64 = r.recovered_by_class.iter().sum();
         assert_eq!(by_class, r.recovered, "{name}: class breakdown");
 
         // Mechanical sanity on the remaining knobs.
