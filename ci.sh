@@ -45,14 +45,14 @@ test -s target/repro-ci/manifest.json
 test -s target/repro-ci/fig3_4.csv
 # The manifest and every stdout table document must parse as JSON.
 if command -v jq >/dev/null 2>&1; then
-  jq -e '.schema == "ntc-repro-manifest/1" and .failed == 0 and (.records | length) == 1' \
+  jq -e '.schema == "ntc-repro-manifest/2" and .failed == 0 and (.records | length) == 1' \
     target/repro-ci/manifest.json >/dev/null
   jq -e . target/repro-ci-tables.jsonl >/dev/null
 elif command -v python3 >/dev/null 2>&1; then
   python3 - <<'EOF'
 import json
 m = json.load(open("target/repro-ci/manifest.json"))
-assert m["schema"] == "ntc-repro-manifest/1" and m["failed"] == 0 and len(m["records"]) == 1, m
+assert m["schema"] == "ntc-repro-manifest/2" and m["failed"] == 0 and len(m["records"]) == 1, m
 for line in open("target/repro-ci-tables.jsonl"):
     if line.strip():
         json.loads(line)
@@ -60,6 +60,44 @@ EOF
 else
   echo "note: neither jq nor python3 found; relying on repro's built-in manifest self-validation"
 fi
+
+echo "==> grid cache: two runs, one cache dir, byte-identical CSVs + disk hits"
+rm -rf target/repro-ci-cache target/repro-ci-cold target/repro-ci-warm
+./target/release/repro --fast --cache-dir target/repro-ci-cache \
+  --out target/repro-ci-cold fig3.8 >/dev/null
+./target/release/repro --fast --cache-dir target/repro-ci-cache \
+  --out target/repro-ci-warm fig3.8 >/dev/null
+cmp target/repro-ci-cold/fig3_8.csv target/repro-ci-warm/fig3_8.csv
+# The cold manifest must record only misses; the warm one at least one
+# disk hit and zero misses (the grep is shape-stable: counters are
+# emitted in a fixed key order by CacheStats::fields()).
+grep -q '"disk_hits":0,' target/repro-ci-cold/manifest.json
+grep -Eq '"disk_hits":[1-9][0-9]*,"disk_misses":0,' target/repro-ci-warm/manifest.json
+
+echo "==> grid cache: corrupt artifact is quarantined, run still green"
+artifact=$(ls target/repro-ci-cache/*.grid | head -n1)
+# Truncate the artifact to half its size: the trailing checksum is gone,
+# so the load must quarantine and recompute.
+size=$(wc -c < "$artifact")
+head -c "$((size / 2))" "$artifact" > "$artifact.tmp"
+mv "$artifact.tmp" "$artifact"
+rm -rf target/repro-ci-evict
+./target/release/repro --fast --cache-dir target/repro-ci-cache \
+  --out target/repro-ci-evict fig3.8 2>/dev/null >/dev/null
+cmp target/repro-ci-cold/fig3_8.csv target/repro-ci-evict/fig3_8.csv
+grep -Eq '"corrupt_evictions":[1-9][0-9]*,' target/repro-ci-evict/manifest.json
+ls target/repro-ci-cache/*.grid.corrupt >/dev/null
+
+echo "==> repro --resume finishes a suite a failed experiment cut short"
+rm -rf target/repro-ci-resume
+if NTC_REPRO_FAIL=tab3.overheads ./target/release/repro --fast \
+  --out target/repro-ci-resume fig3.4 tab3.overheads >/dev/null 2>&1; then
+  echo "FAIL: injected experiment failure must exit nonzero"; exit 1
+fi
+./target/release/repro --fast --resume --out target/repro-ci-resume \
+  fig3.4 tab3.overheads >/dev/null
+grep -q '"resumed":true,' target/repro-ci-resume/manifest.json
+grep -q '"failed":0,' target/repro-ci-resume/manifest.json
 
 echo "==> repro exit-code semantics (unknown id => 2, CSV failure => 1)"
 if ./target/release/repro --fast fig3.4 fgi3.10 >/dev/null 2>&1; then

@@ -321,7 +321,75 @@ pub struct SimAccumulator {
     power_overhead: f64,
 }
 
+/// The exact internal state of a [`SimAccumulator`], with every field
+/// public — the stable decomposition the experiments crate's persistent
+/// grid cache round-trips through its byte-exact on-disk encoding.
+/// [`SimAccumulator::to_parts`] / [`SimAccumulator::from_parts`] are
+/// inverses: an accumulator rebuilt from its parts is indistinguishable
+/// from the original, down to the bit patterns of the float sums.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimAccumulatorParts {
+    /// Display name of the accumulated scheme (`None` for an empty
+    /// accumulator).
+    pub scheme: Option<&'static str>,
+    /// Results accumulated so far.
+    pub runs: u64,
+    /// Summed cycle accounting.
+    pub cost: RunCost,
+    /// Summed true-prediction stalls.
+    pub avoided: u64,
+    /// Summed false-positive stalls.
+    pub false_positives: u64,
+    /// Summed after-the-fact recoveries.
+    pub recovered: u64,
+    /// Summed silent corruptions.
+    pub corruptions: u64,
+    /// Summed per-class recoveries.
+    pub recovered_by_class: [u64; ErrorClass::COUNT],
+    /// Sum of per-run period stretches.
+    pub stretch_sum: f64,
+    /// Sum of per-run prediction accuracies.
+    pub accuracy_sum: f64,
+    /// The scheme's constant power overhead.
+    pub power_overhead: f64,
+}
+
 impl SimAccumulator {
+    /// Decompose into [`SimAccumulatorParts`] (all fields public).
+    pub fn to_parts(&self) -> SimAccumulatorParts {
+        SimAccumulatorParts {
+            scheme: self.scheme,
+            runs: self.runs,
+            cost: self.cost,
+            avoided: self.avoided,
+            false_positives: self.false_positives,
+            recovered: self.recovered,
+            corruptions: self.corruptions,
+            recovered_by_class: self.recovered_by_class,
+            stretch_sum: self.stretch_sum,
+            accuracy_sum: self.accuracy_sum,
+            power_overhead: self.power_overhead,
+        }
+    }
+
+    /// Rebuild an accumulator from its parts — the exact inverse of
+    /// [`SimAccumulator::to_parts`].
+    pub fn from_parts(p: SimAccumulatorParts) -> SimAccumulator {
+        SimAccumulator {
+            scheme: p.scheme,
+            runs: p.runs,
+            cost: p.cost,
+            avoided: p.avoided,
+            false_positives: p.false_positives,
+            recovered: p.recovered,
+            corruptions: p.corruptions,
+            recovered_by_class: p.recovered_by_class,
+            stretch_sum: p.stretch_sum,
+            accuracy_sum: p.accuracy_sum,
+            power_overhead: p.power_overhead,
+        }
+    }
+
     /// Fold one run into the accumulator.
     pub fn push(&mut self, r: &SimResult) {
         if self.runs == 0 {
@@ -519,6 +587,23 @@ mod tests {
         let accuracy = |a: u64, rec: u64| 100.0 * a as f64 / (a + rec) as f64;
         let expect = (accuracy(10, 2) + accuracy(20, 6) + accuracy(30, 10)) / 3.0;
         assert!((acc.mean_prediction_accuracy() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parts_round_trip_is_exact() {
+        let mut acc = SimAccumulator::default();
+        acc.push(&sample(1.5, 10, 2));
+        acc.push(&sample(1.1, 20, 6));
+        let rebuilt = SimAccumulator::from_parts(acc.to_parts());
+        assert_eq!(rebuilt, acc);
+        assert_eq!(
+            rebuilt.mean_period_stretch().to_bits(),
+            acc.mean_period_stretch().to_bits()
+        );
+        assert_eq!(
+            SimAccumulator::from_parts(SimAccumulator::default().to_parts()),
+            SimAccumulator::default()
+        );
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--full] [--jobs N] [--out DIR] [--format text|json] [ID ...]
+//! repro [--full] [--jobs N] [--out DIR] [--format text|json]
+//!       [--cache-dir DIR] [--no-cache] [--resume] [ID ...]
 //! ```
 //!
 //! With no IDs, the whole suite runs. `--full` switches to paper-scale
@@ -16,26 +17,43 @@
 //! both registries — every experiment id, then every registered scheme as
 //! `scheme <name> (<display name>)` — and exits.
 //!
+//! Two mechanisms make reruns cheap:
+//!
+//! * `--cache-dir DIR` points the grid engine at a persistent
+//!   content-addressed artifact cache: every `run_grid` result is stored
+//!   under a key derived from its spec, and later invocations — any
+//!   process, any `--jobs` count — reload it bit-identically instead of
+//!   re-sweeping. Corrupt or stale artifacts are quarantined and
+//!   recomputed, never trusted. `--no-cache` disables all caching (even
+//!   the in-process memo) for a guaranteed cold run.
+//! * `--resume` re-reads `<out>/manifest.json` from a previous invocation
+//!   at the same scale and skips every experiment whose record passed and
+//!   whose CSV is still on disk, carrying the old record forward marked
+//!   `"resumed": true`. Failed or missing experiments run again — a
+//!   crashed suite finishes from where it stopped.
+//!
 //! Every run also writes `<out>/manifest.json`: one structured
 //! [`RunRecord`] per experiment (scale, jobs, wall time, sweep busy/wall
-//! counters, oracle cache counters, row count, CSV path, pass/fail) plus
-//! suite totals — the machine-readable receipt that a "green" run actually
-//! produced what it claims. In `--format json` mode the per-experiment
-//! status lines move to stderr so stdout stays pure JSON lines.
+//! counters, oracle cache counters, grid disk-cache counters, row count,
+//! CSV path, pass/fail) plus suite totals — the machine-readable receipt
+//! that a "green" run actually produced what it claims. In `--format
+//! json` mode the per-experiment status lines move to stderr so stdout
+//! stays pure JSON lines.
 //!
 //! Exit codes:
 //!
 //! * `0` — every requested experiment ran, every CSV and the manifest
 //!   were written;
 //! * `1` — at least one experiment failed (panic, caught sweep-index
-//!   panic, CSV or manifest write error); the manifest names it;
+//!   panic, CSV or manifest write error), or `--resume` found a manifest
+//!   it cannot trust; the diagnostics name it;
 //! * `2` — usage error: bad flag, or **any** requested ID matching no
 //!   experiment (a misspelled ID must never silently shrink the suite).
 
 use ntc_core::scenario::SchemeSpec;
 use ntc_core::tag_delay::take_oracle_stats;
 use ntc_experiments::report::{table_to_json, Manifest, RunRecord};
-use ntc_experiments::{all_experiments, runner, Scale};
+use ntc_experiments::{all_experiments, cache, runner, Scale};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::time::Instant;
@@ -55,12 +73,24 @@ fn run() -> i32 {
     let mut scale = Scale::Fast;
     let mut out = PathBuf::from("target/repro");
     let mut format = Format::Text;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut no_cache = false;
+    let mut resume = false;
     let mut selected: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--full" => scale = Scale::Full,
             "--fast" => scale = Scale::Fast,
+            "--cache-dir" => match args.next() {
+                Some(dir) => cache_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--cache-dir requires a directory");
+                    return 2;
+                }
+            },
+            "--no-cache" => no_cache = true,
+            "--resume" => resume = true,
             "--jobs" | "-j" => {
                 match args
                     .next()
@@ -104,7 +134,10 @@ fn run() -> i32 {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--full] [--jobs N] [--out DIR] [--format text|json] \
-                     [--list] [ID ...]\n\
+                     [--cache-dir DIR] [--no-cache] [--resume] [--list] [ID ...]\n\
+                     --cache-dir DIR  persistent grid-result cache shared across runs\n\
+                     --no-cache       bypass all grid caching (cold run)\n\
+                     --resume         skip experiments already passing in <out>/manifest.json\n\
                      exit codes: 0 all good; 1 experiment/CSV/manifest failure; \
                      2 usage error or unknown ID"
                 );
@@ -139,11 +172,69 @@ fn run() -> i32 {
         .filter(|(id, _)| selected.is_empty() || selected.iter().any(|s| s == id))
         .collect();
 
+    // --no-cache wins over --cache-dir: a cold run must stay cold.
+    if no_cache {
+        cache::set_disabled(true);
+    } else if let Some(dir) = &cache_dir {
+        cache::set_disk_dir(Some(dir.clone()));
+    }
+
     let scale_label = match scale {
         Scale::Fast => "fast",
         Scale::Full => "full",
     };
     let jobs = runner::jobs();
+
+    // --resume: records of the previous manifest worth carrying forward.
+    // A present-but-untrustworthy manifest (unparseable, wrong schema, or
+    // a different scale) is an error, not a silent full rerun — resuming
+    // is a claim about previous results, so the previous results must be
+    // readable and comparable. A missing manifest just means there is
+    // nothing to skip.
+    let mut carried: Vec<RunRecord> = Vec::new();
+    if resume {
+        let manifest_path = out.join("manifest.json");
+        match std::fs::read_to_string(&manifest_path) {
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                eprintln!(
+                    "error: --resume could not read {}: {e}",
+                    manifest_path.display()
+                );
+                return 1;
+            }
+            Ok(body) => match Manifest::from_json_str(&body) {
+                Err(e) => {
+                    eprintln!(
+                        "error: --resume cannot trust {}: {e}",
+                        manifest_path.display()
+                    );
+                    return 1;
+                }
+                Ok(prev) if prev.scale != scale_label => {
+                    eprintln!(
+                        "error: --resume found a {} manifest in {} but this run is {scale_label} \
+                         scale; results would not be comparable",
+                        prev.scale,
+                        manifest_path.display()
+                    );
+                    return 1;
+                }
+                Ok(prev) => carried = prev.records,
+            },
+        }
+    }
+    let carry_forward = |id: &str| -> Option<RunRecord> {
+        let prev = carried.iter().find(|r| r.id == id)?;
+        // Only a passing record whose CSV still exists is trustworthy
+        // enough to skip the work.
+        if !prev.passed() || !prev.csv.as_deref().is_some_and(|p| p.is_file()) {
+            return None;
+        }
+        let mut r = prev.clone();
+        r.resumed = true;
+        Some(r)
+    };
     let status_line = |line: &str| match format {
         // In JSON mode stdout carries only JSON documents; human-facing
         // status goes to stderr.
@@ -155,18 +246,34 @@ fn run() -> i32 {
         to_run.len()
     ));
 
+    // Deterministic failure injection for the resume black-box tests:
+    // the named experiment panics instead of running, standing in for a
+    // mid-suite crash without a bespoke fault build.
+    let injected_failure = std::env::var("NTC_REPRO_FAIL").ok();
+
     let mut records: Vec<RunRecord> = Vec::new();
     for (id, run_experiment) in to_run {
+        if let Some(prev) = carry_forward(id) {
+            status_line(&describe(&prev));
+            records.push(prev);
+            continue;
+        }
         // Drain any leftover counters so this experiment's record only
         // accounts for its own work.
         let _ = runner::take_stats();
         let _ = take_oracle_stats();
+        let _ = cache::take_stats();
         let _ = runner::take_sweep_failures();
         let start = Instant::now();
         // Experiment-level fault isolation: a panicking experiment (e.g. a
         // chip failing inside a strict `sweep`) becomes a failed record and
         // a nonzero exit, not a dead suite.
-        let outcome = catch_unwind(AssertUnwindSafe(|| run_experiment(scale)));
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if injected_failure.as_deref() == Some(*id) {
+                panic!("injected failure via NTC_REPRO_FAIL");
+            }
+            run_experiment(scale)
+        }));
         let mut record = RunRecord {
             id: (*id).to_owned(),
             title: String::new(),
@@ -175,9 +282,11 @@ fn run() -> i32 {
             wall_s: start.elapsed().as_secs_f64(),
             sweep: runner::take_stats(),
             oracle: take_oracle_stats(),
+            cache: cache::take_stats(),
             sweep_failures: runner::take_sweep_failures(),
             rows: 0,
             csv: None,
+            resumed: false,
             error: None,
         };
         match outcome {
@@ -230,9 +339,10 @@ fn run() -> i32 {
 /// numbers *are* the recorded ones.
 fn describe(r: &RunRecord) -> String {
     let mut line = format!(
-        "[{}] {} {:.1}s",
+        "[{}] {}{} {:.1}s",
         r.id,
         if r.passed() { "ok" } else { "FAILED" },
+        if r.resumed { " (resumed)" } else { "" },
         r.wall_s
     );
     if let Some(speedup) = r.sweep.speedup() {
@@ -250,6 +360,24 @@ fn describe(r: &RunRecord) -> String {
             ", oracle {} sims / {} local hits / {} shared hits",
             r.oracle.gate_sims, r.oracle.local_hits, r.oracle.shared_hits
         ));
+    }
+    // Grid disk-cache traffic: a warm rerun shows hits where the cold run
+    // showed misses + bytes written; corrupt evictions flag artifacts
+    // that had to be quarantined and recomputed.
+    if r.cache.lookups() > 0 {
+        line.push_str(&format!(
+            ", grid cache {} disk hit(s) / {} miss(es)",
+            r.cache.disk_hits, r.cache.disk_misses
+        ));
+        if r.cache.corrupt_evictions > 0 {
+            line.push_str(&format!(
+                " ({} corrupt artifact(s) evicted)",
+                r.cache.corrupt_evictions
+            ));
+        }
+        if r.cache.bytes_written > 0 {
+            line.push_str(&format!(", {} B written", r.cache.bytes_written));
+        }
     }
     if !r.sweep_failures.is_empty() {
         line.push_str(&format!(

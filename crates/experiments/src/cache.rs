@@ -1,0 +1,672 @@
+//! Persistent, content-addressed on-disk cache for [`GridResult`]s.
+//!
+//! The scenario engine memoizes grids in-process (see
+//! [`crate::scenario::run_grid`]), but every `repro` invocation used to
+//! re-pay the full sweep cost from scratch. This module makes the
+//! expensive part — the folded accumulators of a (benchmarks × chips ×
+//! schemes) grid — survive the process:
+//!
+//! * **Content-addressed keys.** [`cache_key`] hashes a *canonical byte
+//!   encoding* of the [`GridSpec`] (not Rust's `Hash`, whose output is
+//!   explicitly unstable across compiler versions) together with the
+//!   cache schema tag ([`GRID_CACHE_SCHEMA`]) and the crate version.
+//!   Either bump changes every key, so stale artifacts self-invalidate by
+//!   simply never being addressed again. Two independent FNV-1a lanes,
+//!   each finished with the SplitMix64 avalanche, yield a 128-bit key.
+//! * **Atomic, checksummed artifacts.** [`store`] writes to a
+//!   process-unique temp file and `rename`s it into place, so a crashed
+//!   or concurrent writer can never leave a half-written artifact under
+//!   the final name. Every artifact carries its full key preimage (hash
+//!   collisions load as misses, not as wrong data) and a trailing FNV-1a
+//!   checksum over the body.
+//! * **Corruption is a miss, never a panic.** [`load`] verifies the
+//!   checksum and every structural invariant; anything that fails is
+//!   quarantined (renamed to `<artifact>.corrupt`) and reported as a miss
+//!   so the grid is recomputed and rewritten. A flipped byte or truncated
+//!   file costs one recompute, not the run.
+//! * **Telemetry.** Disk hits/misses, corrupt evictions, and bytes
+//!   written are counted process-globally and drained per experiment by
+//!   the `repro` binary into its `manifest.json` ([`take_stats`]),
+//!   mirroring the sweep and oracle counters.
+//!
+//! The bit-identity contract of the scenario engine extends through the
+//! cache: an artifact stores the exact bit patterns of every counter and
+//! float sum, so a disk hit produces byte-identical CSVs to a cold run at
+//! any `--jobs` count (pinned by `tests/grid_cache.rs`).
+
+use crate::scenario::{GridResult, GridSpec};
+use ntc_core::scenario::{SchemeSpec, SimAccumulator, SimAccumulatorParts};
+use ntc_pipeline::RunCost;
+use ntc_workload::{Benchmark, ALL_BENCHMARKS};
+use std::collections::HashSet;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Cache format identifier, folded into every [`cache_key`]; bump on any
+/// breaking change to the artifact encoding or to the meaning of a spec
+/// field, and every existing artifact silently stops being addressed.
+pub const GRID_CACHE_SCHEMA: &str = "ntc-grid-cache/1";
+
+/// Leading magic of every artifact file.
+const MAGIC: &[u8; 8] = b"NTCGRID1";
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// SplitMix64 golden-ratio increment, reused to derive the second key
+/// lane's seed from the first's.
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+// ---------------------------------------------------------------------
+// Hashing
+// ---------------------------------------------------------------------
+
+/// FNV-1a over `bytes` from an explicit seed (the second key lane uses a
+/// perturbed basis so the two lanes are independent).
+fn fnv1a64_seeded(bytes: &[u8], seed: u64) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Standard FNV-1a 64-bit hash — also the artifact trailing checksum.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_seeded(bytes, FNV_OFFSET)
+}
+
+/// SplitMix64 finalizer: avalanche the FNV output so nearby specs (the
+/// common case — seed bases differing by one) spread over the key space.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(GAMMA);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The full key preimage of a spec: schema tag, crate version, then the
+/// spec's canonical bytes. This exact byte string is hashed into the
+/// artifact file name *and* embedded in the artifact, so a key collision
+/// is detected on load instead of returning another spec's grid.
+pub fn key_preimage(spec: &GridSpec) -> Vec<u8> {
+    let mut out = Vec::new();
+    push_str(&mut out, GRID_CACHE_SCHEMA);
+    push_str(&mut out, env!("CARGO_PKG_VERSION"));
+    out.extend_from_slice(&spec.canonical_bytes());
+    out
+}
+
+/// The content-addressed key of a spec: 32 lowercase hex digits (two
+/// independent FNV-1a lanes through the SplitMix64 finalizer).
+pub fn cache_key(spec: &GridSpec) -> String {
+    let pre = key_preimage(spec);
+    let lane1 = mix64(fnv1a64_seeded(&pre, FNV_OFFSET));
+    let lane2 = mix64(fnv1a64_seeded(&pre, FNV_OFFSET ^ GAMMA));
+    format!("{lane1:016x}{lane2:016x}")
+}
+
+/// Where a spec's artifact lives inside a cache directory.
+pub fn artifact_path(dir: &Path, spec: &GridSpec) -> PathBuf {
+    dir.join(format!("{}.grid", cache_key(spec)))
+}
+
+// ---------------------------------------------------------------------
+// Global configuration + telemetry
+// ---------------------------------------------------------------------
+
+/// Disk-cache directory; `None` = disk tier off (in-memory memo only).
+static DISK_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+/// `--no-cache`: bypass both cache tiers and always recompute.
+static DISABLED: AtomicBool = AtomicBool::new(false);
+
+static DISK_HITS: AtomicU64 = AtomicU64::new(0);
+static DISK_MISSES: AtomicU64 = AtomicU64::new(0);
+static CORRUPT_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+static BYTES_WRITTEN: AtomicU64 = AtomicU64::new(0);
+
+/// Point the disk tier at `dir` (created lazily on first store), or turn
+/// it off with `None`. The `repro` binary wires `--cache-dir` here.
+pub fn set_disk_dir(dir: Option<PathBuf>) {
+    *DISK_DIR.lock().expect("cache config poisoned") = dir;
+}
+
+/// The configured disk-cache directory, if any.
+pub fn disk_dir() -> Option<PathBuf> {
+    DISK_DIR.lock().expect("cache config poisoned").clone()
+}
+
+/// Disable (`true`) or re-enable (`false`) caching entirely — both the
+/// in-memory memo and the disk tier. The `repro` binary wires
+/// `--no-cache` here; every [`crate::scenario::run_grid`] call then
+/// recomputes from scratch.
+pub fn set_disabled(v: bool) {
+    DISABLED.store(v, Ordering::SeqCst);
+}
+
+/// Whether caching is disabled (`--no-cache`).
+pub fn disabled() -> bool {
+    DISABLED.load(Ordering::SeqCst)
+}
+
+/// Disk-cache counters for the grids run since the last [`take_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Artifacts loaded and verified from disk.
+    pub disk_hits: u64,
+    /// Disk lookups that found no (valid) artifact.
+    pub disk_misses: u64,
+    /// Corrupt/truncated artifacts quarantined (each also counts as one
+    /// miss — the grid is recomputed).
+    pub corrupt_evictions: u64,
+    /// Artifact bytes written to disk.
+    pub bytes_written: u64,
+}
+
+impl CacheStats {
+    /// The counters as stable `(field name, value)` pairs, in declaration
+    /// order — the single source of truth for serializers.
+    pub fn fields(&self) -> [(&'static str, u64); 4] {
+        [
+            ("disk_hits", self.disk_hits),
+            ("disk_misses", self.disk_misses),
+            ("corrupt_evictions", self.corrupt_evictions),
+            ("bytes_written", self.bytes_written),
+        ]
+    }
+
+    /// Total disk-tier lookups (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.disk_hits + self.disk_misses
+    }
+}
+
+impl std::ops::AddAssign for CacheStats {
+    /// Counter-wise accumulation, e.g. folding per-experiment drains into
+    /// a suite total.
+    fn add_assign(&mut self, rhs: CacheStats) {
+        self.disk_hits += rhs.disk_hits;
+        self.disk_misses += rhs.disk_misses;
+        self.corrupt_evictions += rhs.corrupt_evictions;
+        self.bytes_written += rhs.bytes_written;
+    }
+}
+
+/// Drain and reset the global disk-cache counters. The `repro` binary
+/// calls this per experiment so each manifest record accounts only for
+/// its own cache traffic.
+pub fn take_stats() -> CacheStats {
+    CacheStats {
+        disk_hits: DISK_HITS.swap(0, Ordering::SeqCst),
+        disk_misses: DISK_MISSES.swap(0, Ordering::SeqCst),
+        corrupt_evictions: CORRUPT_EVICTIONS.swap(0, Ordering::SeqCst),
+        bytes_written: BYTES_WRITTEN.swap(0, Ordering::SeqCst),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bounded in-memory memo
+// ---------------------------------------------------------------------
+
+/// A tiny bounded least-recently-used map over a linear entry list —
+/// exactly right for the handful of grids a suite touches, and trivially
+/// auditable. Replaces the unbounded `HashMap` memo that held every
+/// `Arc<GridResult>` for the life of the process.
+#[derive(Debug)]
+pub struct MemoLru<K, V> {
+    cap: usize,
+    /// Entries ordered least→most recently used.
+    entries: Vec<(K, V)>,
+}
+
+impl<K: PartialEq, V: Clone> MemoLru<K, V> {
+    /// An empty LRU holding at most `cap` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "an LRU needs room for at least one entry");
+        MemoLru {
+            cap,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Look up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        let entry = self.entries.remove(idx);
+        let value = entry.1.clone();
+        self.entries.push(entry);
+        Some(value)
+    }
+
+    /// Insert (or refresh) `key`, evicting the least recently used entry
+    /// when the cap is exceeded.
+    pub fn insert(&mut self, key: K, value: V) {
+        if let Some(idx) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(idx);
+        }
+        self.entries.push((key, value));
+        if self.entries.len() > self.cap {
+            self.entries.remove(0);
+        }
+    }
+
+    /// Whether `key` is cached, without touching recency.
+    pub fn contains(&self, key: &K) -> bool {
+        self.entries.iter().any(|(k, _)| k == key)
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the LRU is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Artifact encoding
+// ---------------------------------------------------------------------
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    push_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Encode a grid result as one self-verifying artifact: magic, key
+/// preimage echo, schemes, per-benchmark accumulators (floats as raw bit
+/// patterns), and a trailing FNV-1a checksum over everything before it.
+pub fn encode(spec: &GridSpec, result: &GridResult) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    let pre = key_preimage(spec);
+    push_u64(&mut out, pre.len() as u64);
+    out.extend_from_slice(&pre);
+    push_u64(&mut out, result.schemes().len() as u64);
+    for s in result.schemes() {
+        push_str(&mut out, &s.name());
+    }
+    push_u64(&mut out, result.per_bench().len() as u64);
+    for (bench, accs) in result.per_bench() {
+        push_str(&mut out, bench.name());
+        push_u64(&mut out, accs.len() as u64);
+        for acc in accs {
+            let p = acc.to_parts();
+            match p.scheme {
+                Some(name) => {
+                    out.push(1);
+                    push_str(&mut out, name);
+                }
+                None => out.push(0),
+            }
+            push_u64(&mut out, p.runs);
+            push_u64(&mut out, p.cost.instructions);
+            push_u64(&mut out, p.cost.stall_cycles);
+            push_u64(&mut out, p.cost.flush_cycles);
+            push_u64(&mut out, p.cost.flush_events);
+            push_u64(&mut out, p.avoided);
+            push_u64(&mut out, p.false_positives);
+            push_u64(&mut out, p.recovered);
+            push_u64(&mut out, p.corruptions);
+            push_u64(&mut out, p.recovered_by_class.len() as u64);
+            for c in p.recovered_by_class {
+                push_u64(&mut out, c);
+            }
+            push_u64(&mut out, p.stretch_sum.to_bits());
+            push_u64(&mut out, p.accuracy_sum.to_bits());
+            push_u64(&mut out, p.power_overhead.to_bits());
+        }
+    }
+    let sum = fnv1a64(&out);
+    push_u64(&mut out, sum);
+    out
+}
+
+/// What [`decode`] concluded about an artifact's bytes.
+#[derive(Debug)]
+enum Decoded {
+    /// Checksum and structure verified; the spec matches.
+    Hit(Box<GridResult>),
+    /// A *valid* artifact for a different spec (128-bit key collision):
+    /// a miss, not corruption — the file is left alone.
+    OtherSpec,
+    /// Bad checksum, truncation, or a structural violation.
+    Corrupt(&'static str),
+}
+
+/// Little-endian reader over an artifact body.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let s = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn str(&mut self) -> Option<&'a str> {
+        let len = usize::try_from(self.u64()?).ok()?;
+        std::str::from_utf8(self.take(len)?).ok()
+    }
+}
+
+/// Intern a scheme display name: `SimResult::scheme` is `&'static str`,
+/// so decoded names are leaked exactly once per distinct string (a
+/// handful of short names per process, by construction of the roster).
+fn intern(s: &str) -> &'static str {
+    static INTERNED: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut set = INTERNED
+        .get_or_init(Default::default)
+        .lock()
+        .expect("intern table poisoned");
+    if let Some(&hit) = set.get(s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+/// Resolve a stored benchmark name against the workload registry.
+fn benchmark_by_name(name: &str) -> Option<Benchmark> {
+    ALL_BENCHMARKS.into_iter().find(|b| b.name() == name)
+}
+
+fn decode(bytes: &[u8], spec: &GridSpec) -> Decoded {
+    // Trailer first: everything else is only meaningful under a valid
+    // checksum.
+    if bytes.len() < MAGIC.len() + 8 {
+        return Decoded::Corrupt("short file");
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("8 trailer bytes"));
+    if fnv1a64(body) != stored {
+        return Decoded::Corrupt("checksum mismatch");
+    }
+    let mut r = Reader {
+        bytes: body,
+        pos: 0,
+    };
+    match r.take(MAGIC.len()) {
+        Some(m) if m == MAGIC => {}
+        _ => return Decoded::Corrupt("bad magic"),
+    }
+    let pre = match r.u64().and_then(|n| r.take(usize::try_from(n).ok()?)) {
+        Some(p) => p,
+        None => return Decoded::Corrupt("truncated key preimage"),
+    };
+    if pre != key_preimage(spec) {
+        return Decoded::OtherSpec;
+    }
+    macro_rules! want {
+        ($e:expr, $what:literal) => {
+            match $e {
+                Some(v) => v,
+                None => return Decoded::Corrupt($what),
+            }
+        };
+    }
+    let n_schemes = want!(r.u64(), "scheme count");
+    let mut schemes = Vec::new();
+    for _ in 0..n_schemes {
+        let name = want!(r.str(), "scheme name");
+        let parsed = want!(SchemeSpec::parse(name).ok(), "unregistered scheme name");
+        schemes.push(parsed);
+    }
+    if schemes != spec.schemes {
+        return Decoded::Corrupt("scheme roster does not match the spec");
+    }
+    let n_bench = want!(r.u64(), "benchmark count");
+    if n_bench != spec.benchmarks.len() as u64 {
+        return Decoded::Corrupt("benchmark count does not match the spec");
+    }
+    let mut per_bench = Vec::new();
+    for expected in &spec.benchmarks {
+        let name = want!(r.str(), "benchmark name");
+        let bench = want!(benchmark_by_name(name), "unknown benchmark name");
+        if bench != *expected {
+            return Decoded::Corrupt("benchmark order does not match the spec");
+        }
+        let n_accs = want!(r.u64(), "accumulator count");
+        if n_accs != schemes.len() as u64 {
+            return Decoded::Corrupt("one accumulator per scheme");
+        }
+        let mut accs = Vec::new();
+        for _ in 0..n_accs {
+            let scheme = match want!(r.u8(), "scheme-name tag") {
+                0 => None,
+                1 => Some(intern(want!(r.str(), "scheme display name"))),
+                _ => return Decoded::Corrupt("bad scheme-name tag"),
+            };
+            let runs = want!(r.u64(), "runs");
+            let cost = RunCost {
+                instructions: want!(r.u64(), "instructions"),
+                stall_cycles: want!(r.u64(), "stall_cycles"),
+                flush_cycles: want!(r.u64(), "flush_cycles"),
+                flush_events: want!(r.u64(), "flush_events"),
+            };
+            let avoided = want!(r.u64(), "avoided");
+            let false_positives = want!(r.u64(), "false_positives");
+            let recovered = want!(r.u64(), "recovered");
+            let corruptions = want!(r.u64(), "corruptions");
+            let mut parts = SimAccumulatorParts {
+                scheme,
+                runs,
+                cost,
+                avoided,
+                false_positives,
+                recovered,
+                corruptions,
+                recovered_by_class: Default::default(),
+                stretch_sum: 0.0,
+                accuracy_sum: 0.0,
+                power_overhead: 0.0,
+            };
+            let n_classes = want!(r.u64(), "class count");
+            if n_classes != parts.recovered_by_class.len() as u64 {
+                return Decoded::Corrupt("error-class count drifted");
+            }
+            for slot in parts.recovered_by_class.iter_mut() {
+                *slot = want!(r.u64(), "class counter");
+            }
+            parts.stretch_sum = f64::from_bits(want!(r.u64(), "stretch_sum"));
+            parts.accuracy_sum = f64::from_bits(want!(r.u64(), "accuracy_sum"));
+            parts.power_overhead = f64::from_bits(want!(r.u64(), "power_overhead"));
+            accs.push(SimAccumulator::from_parts(parts));
+        }
+        per_bench.push((bench, accs));
+    }
+    if r.pos != body.len() {
+        return Decoded::Corrupt("trailing bytes after the last accumulator");
+    }
+    Decoded::Hit(Box::new(GridResult::from_parts(schemes, per_bench)))
+}
+
+// ---------------------------------------------------------------------
+// Disk tier
+// ---------------------------------------------------------------------
+
+/// Move a failed artifact out of the addressable namespace so the next
+/// lookup recomputes instead of re-tripping on it. Best-effort: a
+/// quarantine failure falls back to deletion, and neither may panic.
+fn quarantine(path: &Path) {
+    let mut to = path.as_os_str().to_owned();
+    to.push(".corrupt");
+    if std::fs::rename(path, PathBuf::from(&to)).is_err() {
+        std::fs::remove_file(path).ok();
+    }
+}
+
+/// Look `spec` up in the disk cache at `dir`. Returns the decoded grid on
+/// a verified hit; counts a miss (and quarantines the artifact when it
+/// was present but corrupt) otherwise. Never panics on file contents.
+pub fn load(dir: &Path, spec: &GridSpec) -> Option<GridResult> {
+    let path = artifact_path(dir, spec);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(_) => {
+            DISK_MISSES.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+    };
+    match decode(&bytes, spec) {
+        Decoded::Hit(grid) => {
+            DISK_HITS.fetch_add(1, Ordering::Relaxed);
+            Some(*grid)
+        }
+        Decoded::OtherSpec => {
+            DISK_MISSES.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+        Decoded::Corrupt(why) => {
+            eprintln!(
+                "warning: quarantining corrupt grid-cache artifact {} ({why}); recomputing",
+                path.display()
+            );
+            quarantine(&path);
+            CORRUPT_EVICTIONS.fetch_add(1, Ordering::Relaxed);
+            DISK_MISSES.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+/// Persist `result` for `spec` under `dir`, atomically: the artifact is
+/// written to a process-unique temp file and renamed into place, so
+/// readers only ever observe complete artifacts.
+///
+/// # Errors
+///
+/// Propagates I/O errors (directory creation, write, rename); the temp
+/// file is cleaned up on failure.
+pub fn store(dir: &Path, spec: &GridSpec, result: &GridResult) -> io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let bytes = encode(spec, result);
+    let path = artifact_path(dir, spec);
+    let tmp = dir.join(format!(
+        ".{}.tmp-{}",
+        cache_key(spec),
+        std::process::id()
+    ));
+    let written = std::fs::write(&tmp, &bytes).and_then(|()| std::fs::rename(&tmp, &path));
+    if written.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    written?;
+    BYTES_WRITTEN.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Regime;
+
+    fn spec(trace_seed: u64) -> GridSpec {
+        GridSpec {
+            benchmarks: vec![Benchmark::Gzip, Benchmark::Mcf],
+            chips: 2,
+            schemes: vec![SchemeSpec::RazorCh3, SchemeSpec::DcsIcslt { entries: 32 }],
+            regime: Regime::Ch3,
+            chip_seed_base: 220,
+            trace_seed,
+            cycles: 4_000,
+        }
+    }
+
+    #[test]
+    fn keys_are_stable_and_spec_sensitive() {
+        let a = cache_key(&spec(7));
+        assert_eq!(a.len(), 32, "128-bit hex key");
+        assert_eq!(a, cache_key(&spec(7)), "same spec, same key");
+        assert_ne!(a, cache_key(&spec(8)), "any field change moves the key");
+        let mut other = spec(7);
+        other.chips = 3;
+        assert_ne!(a, cache_key(&other));
+    }
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn memo_lru_caps_and_tracks_recency() {
+        let mut lru: MemoLru<u32, u32> = MemoLru::new(2);
+        assert!(lru.is_empty());
+        lru.insert(1, 10);
+        lru.insert(2, 20);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert_eq!(lru.get(&1), Some(10));
+        lru.insert(3, 30);
+        assert_eq!(lru.len(), 2);
+        assert!(lru.contains(&1) && lru.contains(&3));
+        assert!(!lru.contains(&2), "least recently used entry evicted");
+        assert_eq!(lru.get(&2), None);
+        // Re-inserting an existing key refreshes, not grows.
+        lru.insert(1, 11);
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.get(&1), Some(11));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn memo_lru_rejects_zero_cap() {
+        let _ = MemoLru::<u32, u32>::new(0);
+    }
+
+    #[test]
+    fn decode_flags_corruption_without_panicking() {
+        // A structurally empty but checksummed artifact body must decode
+        // as corrupt (truncated preimage), not panic.
+        let mut bytes = MAGIC.to_vec();
+        let sum = fnv1a64(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        assert!(matches!(decode(&bytes, &spec(7)), Decoded::Corrupt(_)));
+        // Garbage of every length up to a full header must never panic.
+        for len in 0..64 {
+            let garbage = vec![0xA5u8; len];
+            assert!(!matches!(decode(&garbage, &spec(7)), Decoded::Hit(_)));
+        }
+    }
+
+    #[test]
+    fn interning_returns_one_pointer_per_content() {
+        // Two calls with equal content from distinct allocations must
+        // yield the same leaked pointer.
+        let heap_copy = String::from("DCS-ICSLT (32)");
+        let a = intern("DCS-ICSLT (32)");
+        let b = intern(heap_copy.as_str());
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a, "DCS-ICSLT (32)");
+    }
+}

@@ -31,6 +31,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ablation;
+pub mod cache;
 pub mod ch3;
 pub mod ch4;
 pub mod config;
@@ -40,6 +41,7 @@ pub mod runner;
 pub mod scenario;
 pub mod table;
 
+pub use cache::{CacheStats, MemoLru};
 pub use config::{build_oracle, normalize_to_first, ClockRegime, Scale, CH3_REGIME, CH4_REGIME};
 pub use report::{Manifest, RunRecord};
 pub use runner::{

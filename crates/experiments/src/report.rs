@@ -16,15 +16,18 @@
 //! re-read its own manifest (`tests/figure_shapes.rs` golden-shape check,
 //! `ci.sh` smoke step) without trusting external tooling to be present.
 
+use crate::cache::CacheStats;
 use crate::runner::{IndexFailure, SweepStats};
 use crate::table::ResultTable;
 use ntc_core::tag_delay::OracleStats;
 use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// Manifest format identifier; bump on breaking shape changes.
-pub const MANIFEST_SCHEMA: &str = "ntc-repro-manifest/1";
+/// (`/2` added the per-record `cache` counters and `resumed` marker.)
+pub const MANIFEST_SCHEMA: &str = "ntc-repro-manifest/2";
 
 /// Telemetry of one experiment run inside a `repro` invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +46,8 @@ pub struct RunRecord {
     pub sweep: SweepStats,
     /// Delay-oracle cache counters drained after this experiment.
     pub oracle: OracleStats,
+    /// Grid disk-cache counters drained after this experiment.
+    pub cache: CacheStats,
     /// Per-index panics caught by `runner::sweep_catching` during this
     /// experiment (empty for strict sweeps, which fail the whole record).
     pub sweep_failures: Vec<IndexFailure>,
@@ -50,6 +55,9 @@ pub struct RunRecord {
     pub rows: usize,
     /// Where the CSV landed, when it was written.
     pub csv: Option<PathBuf>,
+    /// Whether `--resume` carried this record forward from a previous
+    /// suite's manifest instead of re-running the experiment.
+    pub resumed: bool,
     /// Fatal error: experiment panic or CSV write failure.
     pub error: Option<String>,
 }
@@ -88,6 +96,15 @@ impl RunRecord {
         }
         s.push('}');
         s.push(',');
+        s.push_str("\"cache\":{");
+        for (i, (name, value)) in self.cache.fields().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{name}\":{value}");
+        }
+        s.push('}');
+        s.push(',');
         s.push_str("\"sweep_failures\":[");
         for (i, f) in self.sweep_failures.iter().enumerate() {
             if i > 0 {
@@ -112,12 +129,112 @@ impl RunRecord {
             if self.passed() { "pass" } else { "fail" },
         );
         s.push(',');
+        let _ = write!(s, "\"resumed\":{}", self.resumed);
+        s.push(',');
         match &self.error {
             Some(e) => push_key_str(&mut s, "error", e),
             None => s.push_str("\"error\":null"),
         }
         s.push('}');
         s
+    }
+
+    /// Decode a record from a parsed manifest object — the read half of
+    /// [`RunRecord::to_json`], used by `repro --resume` to carry passing
+    /// records of a previous run forward.
+    ///
+    /// # Errors
+    ///
+    /// Names the first missing or mistyped member, and rejects a record
+    /// whose stored `status` contradicts its own failure fields (a
+    /// tampered or hand-edited manifest must not resume as a pass).
+    pub fn from_json(v: &Json) -> Result<RunRecord, String> {
+        fn str_of(v: &Json, key: &str) -> Result<String, String> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("record member {key:?} missing or not a string"))
+        }
+        fn u64_of(v: &Json, key: &str) -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("record member {key:?} missing or not an exact integer"))
+        }
+        let oracle_obj = v
+            .get("oracle")
+            .ok_or_else(|| "record member \"oracle\" missing".to_owned())?;
+        let oracle = OracleStats {
+            gate_sims: u64_of(oracle_obj, "gate_sims")?,
+            local_hits: u64_of(oracle_obj, "local_hits")?,
+            shared_hits: u64_of(oracle_obj, "shared_hits")?,
+        };
+        let cache_obj = v
+            .get("cache")
+            .ok_or_else(|| "record member \"cache\" missing".to_owned())?;
+        let cache = CacheStats {
+            disk_hits: u64_of(cache_obj, "disk_hits")?,
+            disk_misses: u64_of(cache_obj, "disk_misses")?,
+            corrupt_evictions: u64_of(cache_obj, "corrupt_evictions")?,
+            bytes_written: u64_of(cache_obj, "bytes_written")?,
+        };
+        let mut sweep_failures = Vec::new();
+        for f in v
+            .get("sweep_failures")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "record member \"sweep_failures\" missing or not an array".to_owned())?
+        {
+            sweep_failures.push(IndexFailure {
+                index: usize::try_from(u64_of(f, "index")?)
+                    .map_err(|_| "sweep-failure index out of range".to_owned())?,
+                message: str_of(f, "message")?,
+            });
+        }
+        let csv = match v.get("csv") {
+            Some(Json::Null) => None,
+            Some(Json::Str(p)) => Some(PathBuf::from(p)),
+            _ => return Err("record member \"csv\" missing or not a string/null".to_owned()),
+        };
+        let error = match v.get("error") {
+            Some(Json::Null) => None,
+            Some(Json::Str(e)) => Some(e.clone()),
+            _ => return Err("record member \"error\" missing or not a string/null".to_owned()),
+        };
+        let resumed = match v.get("resumed") {
+            Some(Json::Bool(b)) => *b,
+            _ => return Err("record member \"resumed\" missing or not a bool".to_owned()),
+        };
+        let record = RunRecord {
+            id: str_of(v, "id")?,
+            title: str_of(v, "title")?,
+            scale: str_of(v, "scale")?,
+            jobs: usize::try_from(u64_of(v, "jobs")?)
+                .map_err(|_| "record member \"jobs\" out of range".to_owned())?,
+            wall_s: v
+                .get("wall_s")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| "record member \"wall_s\" missing or not a number".to_owned())?,
+            sweep: SweepStats {
+                busy: Duration::from_nanos(u64_of(v, "sweep_busy_ns")?),
+                wall: Duration::from_nanos(u64_of(v, "sweep_wall_ns")?),
+            },
+            oracle,
+            cache,
+            sweep_failures,
+            rows: usize::try_from(u64_of(v, "rows")?)
+                .map_err(|_| "record member \"rows\" out of range".to_owned())?,
+            csv,
+            resumed,
+            error,
+        };
+        let status = str_of(v, "status")?;
+        let expected = if record.passed() { "pass" } else { "fail" };
+        if status != expected {
+            return Err(format!(
+                "record {:?} says status {status:?} but its failure fields imply {expected:?}",
+                record.id
+            ));
+        }
+        Ok(record)
     }
 }
 
@@ -220,6 +337,49 @@ impl Manifest {
         std::fs::write(&path, json)?;
         Ok(path)
     }
+
+    /// Parse a manifest document back into a [`Manifest`] — the read half
+    /// of [`Manifest::to_json`], used by `repro --resume`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects documents with the wrong `schema` tag (older manifests
+    /// must not silently resume under new semantics) and any record
+    /// [`RunRecord::from_json`] rejects.
+    pub fn from_json_str(src: &str) -> Result<Manifest, String> {
+        let doc = parse_json(src)?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "manifest member \"schema\" missing or not a string".to_owned())?;
+        if schema != MANIFEST_SCHEMA {
+            return Err(format!(
+                "manifest schema {schema:?} is not the supported {MANIFEST_SCHEMA:?}"
+            ));
+        }
+        let scale = doc
+            .get("scale")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "manifest member \"scale\" missing or not a string".to_owned())?
+            .to_owned();
+        let jobs = doc
+            .get("jobs")
+            .and_then(Json::as_u64)
+            .and_then(|j| usize::try_from(j).ok())
+            .ok_or_else(|| "manifest member \"jobs\" missing or not an exact integer".to_owned())?;
+        let records = doc
+            .get("records")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "manifest member \"records\" missing or not an array".to_owned())?
+            .iter()
+            .map(RunRecord::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Manifest {
+            scale,
+            jobs,
+            records,
+        })
+    }
 }
 
 /// Encode a [`ResultTable`] as one JSON object (`--format json` output):
@@ -304,7 +464,12 @@ pub enum Json {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// Any JSON number (parsed as `f64`).
+    /// An integer number literal (no fraction or exponent), kept exact.
+    /// The manifest's u64 counters — sweep nanoseconds, oracle hit
+    /// counts, rows — round-trip through this variant losslessly even
+    /// above 2^53, where an `f64` would silently drop low bits.
+    Int(i128),
+    /// Any other JSON number (parsed as `f64`).
     Num(f64),
     /// A string.
     Str(String),
@@ -323,10 +488,22 @@ impl Json {
         }
     }
 
-    /// The value as a number, if it is one.
+    /// The value as a number, if it is one. Lossy above 2^53 for integer
+    /// literals — counters that must stay exact go through [`Json::as_u64`].
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(v) => Some(*v),
+            Json::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact unsigned integer: only integer literals that
+    /// fit in a `u64` qualify — a fractional or out-of-range number is
+    /// `None`, never a rounded result.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(v) => u64::try_from(*v).ok(),
             _ => None,
         }
     }
@@ -440,9 +617,31 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        // Integer literals parse exactly: u64 counters above 2^53 must
+        // not be rounded through an f64. Anything with a fraction or
+        // exponent — or an integer too wide even for i128 — stays f64.
+        if !text.contains(['.', 'e', 'E']) {
+            if let Ok(v) = text.parse::<i128>() {
+                return Ok(Json::Int(v));
+            }
+        }
         text.parse::<f64>()
             .map(Json::Num)
             .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+    }
+
+    /// Read the four hex digits of a `\u` escape body at `pos`, advancing
+    /// past them.
+    fn hex4(&mut self) -> Result<u32, String> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .filter(|h| h.bytes().all(|b| b.is_ascii_hexdigit()))
+            .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+        let code = u32::from_str_radix(hex, 16).expect("4 hex digits");
+        self.pos += 4;
+        Ok(code)
     }
 
     fn string(&mut self) -> Result<String, String> {
@@ -467,17 +666,48 @@ impl Parser<'_> {
                         Some(b'r') => out.push('\r'),
                         Some(b't') => out.push('\t'),
                         Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
-                            // Surrogates never appear in our own output;
-                            // map them to the replacement character.
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                            self.pos += 4;
+                            let escape_at = self.pos - 1;
+                            self.pos += 1;
+                            let code = self.hex4()?;
+                            match code {
+                                // High surrogate: RFC 8259 §7 requires a
+                                // paired `\uDC00`–`\uDFFF` escape next;
+                                // the two combine into one supplementary
+                                // scalar (how 😀 is escaped).
+                                0xD800..=0xDBFF => {
+                                    if !(self.peek() == Some(b'\\')
+                                        && self.bytes.get(self.pos + 1) == Some(&b'u'))
+                                    {
+                                        return Err(format!(
+                                            "lone high surrogate \\u{code:04x} at byte {escape_at}"
+                                        ));
+                                    }
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(format!(
+                                            "high surrogate \\u{code:04x} at byte {escape_at} \
+                                             followed by \\u{low:04x}, not a low surrogate"
+                                        ));
+                                    }
+                                    let scalar =
+                                        0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    out.push(
+                                        char::from_u32(scalar).expect("paired surrogates decode"),
+                                    );
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(format!(
+                                        "lone low surrogate \\u{code:04x} at byte {escape_at}"
+                                    ));
+                                }
+                                _ => out.push(char::from_u32(code).expect("BMP non-surrogate")),
+                            }
+                            // hex4 leaves pos just past the last digit;
+                            // step back one so the shared advance below
+                            // (which assumes a one-byte escape body) lands
+                            // exactly there.
+                            self.pos -= 1;
                         }
                         _ => return Err(format!("bad escape at byte {}", self.pos)),
                     }
@@ -551,7 +781,6 @@ impl Parser<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Duration;
 
     fn record(id: &str, error: Option<&str>) -> RunRecord {
         RunRecord {
@@ -569,9 +798,16 @@ mod tests {
                 local_hits: 40,
                 shared_hits: 3,
             },
+            cache: CacheStats {
+                disk_hits: 1,
+                disk_misses: 2,
+                corrupt_evictions: 0,
+                bytes_written: 4096,
+            },
             sweep_failures: Vec::new(),
             rows: 6,
             csv: Some(PathBuf::from("target/repro/x.csv")),
+            resumed: false,
             error: error.map(str::to_owned),
         }
     }
@@ -630,6 +866,77 @@ mod tests {
         push_json_str(&mut s, nasty);
         let parsed = parse_json(&s).expect("valid JSON string literal");
         assert_eq!(parsed.as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_one_scalar() {
+        // 😀 is U+1F600, escaped as the pair 😀. The old parser
+        // collapsed each half to U+FFFD; a non-BMP label must round-trip.
+        let parsed = parse_json(r#""😀""#).expect("paired surrogates are valid");
+        assert_eq!(parsed.as_str(), Some("😀"));
+        // Mixed-case hex and surrounding text survive too.
+        let parsed = parse_json(r#""a😀bé""#).expect("valid");
+        assert_eq!(parsed.as_str(), Some("a😀bé"));
+    }
+
+    #[test]
+    fn lone_surrogates_are_rejected_with_a_byte_offset() {
+        // Byte 1 is where each string's first escape starts.
+        for doc in [
+            r#""\ud83d""#,       // lone high at end of string
+            r#""\ud83dx""#,      // lone high before a plain char
+            r#""\ud83d\n""#,     // lone high before a non-\u escape
+            r#""\ude00""#,       // lone low
+            r#""\ud83d\ud83d""#, // high followed by another high
+        ] {
+            let err = parse_json(doc).expect_err(doc);
+            assert!(err.contains("surrogate"), "{doc}: {err}");
+            assert!(err.contains("byte 1"), "{doc} must name the offset: {err}");
+        }
+    }
+
+    #[test]
+    fn integer_literals_parse_exactly_above_2_pow_53() {
+        // 2^53 + 1 is the first u64 an f64 cannot represent.
+        let big = (1u64 << 53) + 1;
+        let parsed = parse_json(&big.to_string()).expect("valid integer");
+        assert_eq!(parsed.as_u64(), Some(big), "no f64 rounding");
+        assert_eq!(parsed, Json::Int(big as i128));
+        assert_eq!(parse_json("18446744073709551615").unwrap().as_u64(), Some(u64::MAX));
+        // as_u64 is exact-or-nothing: fractions and negatives don't coerce.
+        assert_eq!(parse_json("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse_json("-3").unwrap().as_u64(), None);
+        assert_eq!(parse_json("1e3").unwrap().as_u64(), None);
+        // as_f64 still works on integer literals for chart-value readers.
+        assert_eq!(parse_json("42").unwrap().as_f64(), Some(42.0));
+    }
+
+    #[test]
+    fn huge_counters_round_trip_through_the_manifest() {
+        let mut r = record("fig3.4", None);
+        r.oracle.local_hits = (1u64 << 53) + 1;
+        r.sweep.busy = Duration::from_nanos(u64::MAX);
+        let m = Manifest::new("fast", 2, vec![r.clone()]);
+        let back = Manifest::from_json_str(&m.to_json()).expect("manifest re-reads");
+        assert_eq!(back.records[0], r, "exact counters, no f64 laundering");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn from_json_rejects_status_contradicting_failure_fields() {
+        let r = record("fig3.4", None);
+        let doctored = r.to_json().replace("\"status\":\"pass\"", "\"status\":\"fail\"");
+        let parsed = parse_json(&doctored).expect("still valid JSON");
+        let err = RunRecord::from_json(&parsed).expect_err("contradiction must be rejected");
+        assert!(err.contains("status"), "{err}");
+    }
+
+    #[test]
+    fn from_json_str_rejects_foreign_schemas() {
+        let m = Manifest::new("fast", 1, vec![record("fig3.4", None)]);
+        let old = m.to_json().replace(MANIFEST_SCHEMA, "ntc-repro-manifest/1");
+        let err = Manifest::from_json_str(&old).expect_err("old schema must not resume");
+        assert!(err.contains("schema"), "{err}");
     }
 
     #[test]

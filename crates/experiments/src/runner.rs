@@ -45,7 +45,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, Once};
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Explicit thread-count override; 0 = unset.
@@ -54,8 +54,11 @@ static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 static BUSY_NANOS: AtomicU64 = AtomicU64::new(0);
 /// Cumulative sweep wall-clock time, nanoseconds.
 static WALL_NANOS: AtomicU64 = AtomicU64::new(0);
-/// One-shot guard for the malformed-`NTC_JOBS` warning.
-static ENV_JOBS_WARNING: Once = Once::new();
+/// `NTC_JOBS`, read and parsed once per process (every sweep consults
+/// [`jobs`], and the variable cannot change meaningfully mid-run). The
+/// one-shot init also gives the malformed-value warning its warn-once
+/// behaviour for free.
+static ENV_JOBS: OnceLock<Option<usize>> = OnceLock::new();
 /// Per-index panics caught by [`sweep_catching`] since the last
 /// [`take_sweep_failures`] drain, in sweep-submission order.
 static SWEEP_FAILURES: Mutex<Vec<IndexFailure>> = Mutex::new(Vec::new());
@@ -67,27 +70,46 @@ pub fn set_jobs(n: usize) {
     JOBS_OVERRIDE.store(n, Ordering::SeqCst);
 }
 
-/// The number of worker threads a sweep will use: the [`set_jobs`]
-/// override, else `NTC_JOBS`, else the machine's available parallelism.
-pub fn jobs() -> usize {
-    let explicit = JOBS_OVERRIDE.load(Ordering::SeqCst);
-    if explicit > 0 {
-        return explicit;
-    }
-    if let Ok(v) = std::env::var("NTC_JOBS") {
+/// The cached `NTC_JOBS` value: parsed on first call, then free.
+fn env_jobs() -> Option<usize> {
+    *ENV_JOBS.get_or_init(|| {
+        let v = std::env::var("NTC_JOBS").ok()?;
         match v.trim().parse::<usize>() {
-            Ok(n) if n > 0 => return n,
-            _ => ENV_JOBS_WARNING.call_once(|| {
+            Ok(n) if n > 0 => Some(n),
+            _ => {
                 eprintln!(
                     "warning: ignoring invalid NTC_JOBS={v:?} \
                      (expected a positive integer); using machine parallelism"
                 );
-            }),
+                None
+            }
         }
+    })
+}
+
+/// The pure resolution rule behind [`jobs`]: explicit override (0 =
+/// unset) beats the environment beats the machine's parallelism, floored
+/// at one worker. Split out so the precedence is unit-testable without
+/// mutating process globals.
+fn resolve_jobs(explicit: usize, env: Option<usize>, machine: usize) -> usize {
+    if explicit > 0 {
+        explicit
+    } else {
+        env.unwrap_or(machine).max(1)
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+}
+
+/// The number of worker threads a sweep will use: the [`set_jobs`]
+/// override, else `NTC_JOBS` (parsed once per process), else the
+/// machine's available parallelism.
+pub fn jobs() -> usize {
+    resolve_jobs(
+        JOBS_OVERRIDE.load(Ordering::SeqCst),
+        env_jobs(),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    )
 }
 
 /// Busy/wall accounting for the sweeps run since the last [`take_stats`].
@@ -363,6 +385,19 @@ mod tests {
         assert_eq!(jobs(), 3);
         set_jobs(0);
         assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn resolve_jobs_precedence_is_override_env_machine() {
+        // Explicit --jobs wins over everything.
+        assert_eq!(resolve_jobs(3, Some(5), 8), 3);
+        assert_eq!(resolve_jobs(3, None, 8), 3);
+        // The environment beats the machine…
+        assert_eq!(resolve_jobs(0, Some(5), 8), 5);
+        // …and the machine is the default…
+        assert_eq!(resolve_jobs(0, None, 8), 8);
+        // …floored at one worker even on a degenerate probe.
+        assert_eq!(resolve_jobs(0, None, 0), 1);
     }
 
     #[test]

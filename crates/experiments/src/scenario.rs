@@ -26,6 +26,7 @@
 //! sequential fold at any `--jobs` count (pinned by the determinism test
 //! in `tests/scenario_grid.rs`).
 
+use crate::cache::{self, MemoLru};
 use crate::config::{build_oracle, ClockRegime, CH3_REGIME, CH4_REGIME};
 use crate::runner::sweep_over;
 use ntc_core::scenario::{ChipContext, SchemeSpec, SimAccumulator};
@@ -33,7 +34,6 @@ use ntc_core::sim::{run_scheme, SimResult};
 use ntc_pipeline::Pipeline;
 use ntc_varmodel::Corner;
 use ntc_workload::{Benchmark, TraceGenerator};
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// The two evaluation regimes of the study, as grid-spec data (the
@@ -52,6 +52,14 @@ impl Regime {
         match self {
             Regime::Ch3 => CH3_REGIME,
             Regime::Ch4 => CH4_REGIME,
+        }
+    }
+
+    /// Stable short name, part of the spec's canonical byte encoding.
+    pub fn name(self) -> &'static str {
+        match self {
+            Regime::Ch3 => "ch3",
+            Regime::Ch4 => "ch4",
         }
     }
 }
@@ -76,15 +84,57 @@ pub struct GridSpec {
     pub cycles: usize,
 }
 
+impl GridSpec {
+    /// A stable canonical byte encoding of the spec: every field as
+    /// length-prefixed registry names or little-endian integers, in
+    /// declaration order. This — not Rust's `Hash`, whose output is free
+    /// to change between compiler releases — is what the on-disk cache
+    /// key hashes, so artifacts stay addressable across toolchains.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        fn push_u64(out: &mut Vec<u8>, v: u64) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        fn push_str(out: &mut Vec<u8>, s: &str) {
+            push_u64(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        let mut out = Vec::new();
+        push_u64(&mut out, self.benchmarks.len() as u64);
+        for b in &self.benchmarks {
+            push_str(&mut out, b.name());
+        }
+        push_u64(&mut out, self.chips as u64);
+        push_u64(&mut out, self.schemes.len() as u64);
+        for s in &self.schemes {
+            push_str(&mut out, &s.name());
+        }
+        push_str(&mut out, self.regime.name());
+        push_u64(&mut out, self.chip_seed_base);
+        push_u64(&mut out, self.trace_seed);
+        push_u64(&mut out, self.cycles as u64);
+        out
+    }
+}
+
 /// The folded output of [`run_grid`]: per benchmark, one
 /// [`SimAccumulator`] per scheme (in the spec's scheme order).
-#[derive(Debug)]
+#[derive(Debug, PartialEq)]
 pub struct GridResult {
     schemes: Vec<SchemeSpec>,
     per_bench: Vec<(Benchmark, Vec<SimAccumulator>)>,
 }
 
 impl GridResult {
+    /// Reassemble a grid from its stored pieces — the decode half of the
+    /// disk cache. Crate-internal: the only producers of a `GridResult`
+    /// are [`run_grid_uncached`] and a verified cache artifact.
+    pub(crate) fn from_parts(
+        schemes: Vec<SchemeSpec>,
+        per_bench: Vec<(Benchmark, Vec<SimAccumulator>)>,
+    ) -> GridResult {
+        GridResult { schemes, per_bench }
+    }
+
     /// The grid's schemes, in column order.
     pub fn schemes(&self) -> &[SchemeSpec] {
         &self.schemes
@@ -209,17 +259,50 @@ pub fn run_grid_uncached(spec: &GridSpec) -> GridResult {
     }
 }
 
-/// Run a grid through the global cache: the spec is the key, so figures
-/// charting different columns of the same grid — or repeat invocations at
-/// the same scale — share one sweep.
+/// Capacity of the in-memory grid memo. A suite touches a handful of
+/// distinct grids (the ch3 and ch4 comparison grids plus the
+/// accuracy-sweep variants), so a small bound keeps every live grid warm
+/// while the memo can no longer grow without limit across a long run.
+pub const GRID_MEMO_CAP: usize = 8;
+
+/// Run a grid through the cache tiers: bounded in-memory LRU first (same
+/// process — figures charting different columns of one grid share one
+/// sweep and one `Arc`), then the on-disk artifact cache when a
+/// `--cache-dir` is configured (previous processes), then
+/// [`run_grid_uncached`]. Fresh results are written through to both
+/// tiers; `--no-cache` ([`cache::set_disabled`]) bypasses everything.
+///
+/// Disk artifacts store exact bit patterns, so a hit from either tier is
+/// bit-identical to a cold run at any `--jobs` count.
 pub fn run_grid(spec: &GridSpec) -> Arc<GridResult> {
-    type Memo = Mutex<HashMap<GridSpec, Arc<GridResult>>>;
+    type Memo = Mutex<MemoLru<GridSpec, Arc<GridResult>>>;
     static MEMO: OnceLock<Memo> = OnceLock::new();
-    let memo = MEMO.get_or_init(Default::default);
+    if cache::disabled() {
+        return Arc::new(run_grid_uncached(spec));
+    }
+    let memo = MEMO.get_or_init(|| Mutex::new(MemoLru::new(GRID_MEMO_CAP)));
     if let Some(hit) = memo.lock().expect("grid memo poisoned").get(spec) {
-        return hit.clone();
+        return hit;
+    }
+    let disk = cache::disk_dir();
+    if let Some(dir) = &disk {
+        if let Some(loaded) = cache::load(dir, spec) {
+            let result = Arc::new(loaded);
+            memo.lock()
+                .expect("grid memo poisoned")
+                .insert(spec.clone(), result.clone());
+            return result;
+        }
     }
     let result = Arc::new(run_grid_uncached(spec));
+    if let Some(dir) = &disk {
+        if let Err(e) = cache::store(dir, spec, &result) {
+            eprintln!(
+                "warning: could not persist grid-cache artifact under {}: {e}",
+                dir.display()
+            );
+        }
+    }
     memo.lock()
         .expect("grid memo poisoned")
         .insert(spec.clone(), result.clone());

@@ -187,4 +187,209 @@ fn bad_flag_and_bad_format_exit_2() {
         Some(2)
     );
     assert_eq!(run(repro().args(["--jobs", "zero"])).status.code(), Some(2));
+    assert_eq!(run(repro().arg("--cache-dir")).status.code(), Some(2));
+}
+
+/// The first record of an on-disk manifest, parsed.
+fn first_record(out: &std::path::Path) -> Json {
+    let body = std::fs::read_to_string(out.join("manifest.json")).expect("manifest written");
+    parse_json(&body).expect("manifest parses").get("records").unwrap().as_arr().unwrap()[0]
+        .clone()
+}
+
+#[test]
+fn resume_skips_passing_experiments_and_completes_the_rest() {
+    let out = out_dir("resume");
+    // First invocation: fig3.4 passes, then the injected failure kills
+    // tab3.overheads mid-suite — the crash the resume mode exists for.
+    let result = run(repro()
+        .env("NTC_REPRO_FAIL", "tab3.overheads")
+        .args(["--fast", "--out", out.to_str().unwrap(), "fig3.4", "tab3.overheads"]));
+    assert_eq!(result.status.code(), Some(1), "injected failure must fail the run");
+    let body = std::fs::read_to_string(out.join("manifest.json")).expect("manifest written");
+    let manifest = parse_json(&body).expect("manifest parses");
+    let records = manifest.get("records").unwrap().as_arr().unwrap();
+    assert_eq!(records[0].get("status").unwrap().as_str(), Some("pass"));
+    assert_eq!(records[1].get("status").unwrap().as_str(), Some("fail"));
+    assert!(
+        records[1].get("error").unwrap().as_str().unwrap().contains("injected failure"),
+        "failure names its cause"
+    );
+    let csv_path = records[0].get("csv").unwrap().as_str().expect("csv recorded").to_owned();
+    let csv_before = std::fs::read(&csv_path).expect("passing CSV exists");
+
+    // Second invocation resumes: the passing record is carried forward,
+    // only the failed experiment runs, and the suite goes green.
+    let result = run(repro().args([
+        "--fast",
+        "--resume",
+        "--out",
+        out.to_str().unwrap(),
+        "fig3.4",
+        "tab3.overheads",
+    ]));
+    assert_eq!(result.status.code(), Some(0), "resumed suite completes");
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(stdout.contains("[fig3.4] ok (resumed)"), "{stdout}");
+    assert!(stdout.contains("# suite: 2 passed, 0 failed"), "{stdout}");
+    let body = std::fs::read_to_string(out.join("manifest.json")).expect("manifest rewritten");
+    let manifest = parse_json(&body).expect("manifest parses");
+    let records = manifest.get("records").unwrap().as_arr().unwrap();
+    assert_eq!(records[0].get("resumed"), Some(&Json::Bool(true)));
+    assert_eq!(records[0].get("status").unwrap().as_str(), Some("pass"));
+    assert_eq!(records[1].get("resumed"), Some(&Json::Bool(false)));
+    assert_eq!(records[1].get("status").unwrap().as_str(), Some("pass"));
+    assert_eq!(
+        std::fs::read(&csv_path).expect("CSV still exists"),
+        csv_before,
+        "the resumed experiment's CSV is untouched"
+    );
+    std::fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn resume_refuses_a_manifest_at_another_scale() {
+    let out = out_dir("resume-scale");
+    let result = run(repro().args(["--fast", "--out", out.to_str().unwrap(), "tab3.overheads"]));
+    assert_eq!(result.status.code(), Some(0));
+    // Resuming the fast manifest under --full must refuse, not silently
+    // mix scales in one manifest.
+    let result = run(repro().args([
+        "--full",
+        "--resume",
+        "--out",
+        out.to_str().unwrap(),
+        "tab3.overheads",
+    ]));
+    assert_eq!(result.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&result.stderr);
+    assert!(stderr.contains("scale"), "{stderr}");
+    std::fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn cache_dir_reruns_hit_disk_and_reproduce_csv_bytes_at_any_job_count() {
+    let cache = out_dir("cache-store");
+    let out_cold = out_dir("cache-cold");
+    let out_warm = out_dir("cache-warm");
+    // Cold run: fig3.8 is grid-shaped, so it populates the artifact cache.
+    let result = run(repro().args([
+        "--fast",
+        "--cache-dir",
+        cache.to_str().unwrap(),
+        "--out",
+        out_cold.to_str().unwrap(),
+        "fig3.8",
+    ]));
+    assert_eq!(result.status.code(), Some(0));
+    let cold = first_record(&out_cold);
+    let cold_cache = cold.get("cache").unwrap();
+    assert_eq!(cold_cache.get("disk_hits").unwrap().as_u64(), Some(0));
+    assert!(cold_cache.get("disk_misses").unwrap().as_u64() >= Some(1));
+    assert!(cold_cache.get("bytes_written").unwrap().as_u64() >= Some(1));
+    let cold_csv =
+        std::fs::read(cold.get("csv").unwrap().as_str().unwrap()).expect("cold CSV readable");
+    let cold_busy = cold.get("sweep_busy_ns").unwrap().as_u64().unwrap();
+
+    // Warm run, different --out, different thread count: every grid comes
+    // off disk, the CSV bytes are identical, and the sweep engine had
+    // strictly less to do.
+    let result = run(repro().env("NTC_JOBS", "2").args([
+        "--fast",
+        "--cache-dir",
+        cache.to_str().unwrap(),
+        "--out",
+        out_warm.to_str().unwrap(),
+        "fig3.8",
+    ]));
+    assert_eq!(result.status.code(), Some(0));
+    let warm = first_record(&out_warm);
+    let warm_cache = warm.get("cache").unwrap();
+    assert!(warm_cache.get("disk_hits").unwrap().as_u64() >= Some(1));
+    assert_eq!(warm_cache.get("disk_misses").unwrap().as_u64(), Some(0));
+    assert_eq!(warm_cache.get("corrupt_evictions").unwrap().as_u64(), Some(0));
+    let warm_csv =
+        std::fs::read(warm.get("csv").unwrap().as_str().unwrap()).expect("warm CSV readable");
+    assert_eq!(warm_csv, cold_csv, "disk hits reproduce CSV bytes exactly");
+    let warm_busy = warm.get("sweep_busy_ns").unwrap().as_u64().unwrap();
+    assert!(
+        warm_busy < cold_busy,
+        "cached run must sweep less (warm {warm_busy} ns vs cold {cold_busy} ns)"
+    );
+
+    // A corrupted artifact degrades to recompute — the run still passes
+    // and the eviction is visible in the manifest.
+    let artifact = std::fs::read_dir(&cache)
+        .expect("cache dir listable")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|x| x == "grid"))
+        .expect("at least one artifact in the cache");
+    let mut bytes = std::fs::read(&artifact).expect("artifact readable");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&artifact, &bytes).expect("corruption written");
+    let out_evict = out_dir("cache-evict");
+    let result = run(repro().args([
+        "--fast",
+        "--cache-dir",
+        cache.to_str().unwrap(),
+        "--out",
+        out_evict.to_str().unwrap(),
+        "fig3.8",
+    ]));
+    assert_eq!(result.status.code(), Some(0), "corruption must not fail the run");
+    let evict = first_record(&out_evict);
+    assert!(
+        evict.get("cache").unwrap().get("corrupt_evictions").unwrap().as_u64() >= Some(1),
+        "the quarantine is accounted"
+    );
+    let evict_csv =
+        std::fs::read(evict.get("csv").unwrap().as_str().unwrap()).expect("CSV readable");
+    assert_eq!(evict_csv, cold_csv, "recomputed grid reproduces the CSV");
+
+    for dir in [&cache, &out_cold, &out_warm, &out_evict] {
+        std::fs::remove_dir_all(dir).ok();
+    }
+}
+
+#[test]
+fn no_cache_forces_a_cold_run_even_with_a_cache_dir() {
+    let cache = out_dir("nocache-store");
+    let out1 = out_dir("nocache-1");
+    let out2 = out_dir("nocache-2");
+    let result = run(repro().args([
+        "--fast",
+        "--cache-dir",
+        cache.to_str().unwrap(),
+        "--out",
+        out1.to_str().unwrap(),
+        "fig3.8",
+    ]));
+    assert_eq!(result.status.code(), Some(0));
+    // --no-cache wins: no lookups, no writes, and the cache dir gains
+    // nothing.
+    let artifacts = |dir: &std::path::Path| {
+        std::fs::read_dir(dir).map(|d| d.count()).unwrap_or(0)
+    };
+    let before = artifacts(&cache);
+    let result = run(repro().args([
+        "--fast",
+        "--no-cache",
+        "--cache-dir",
+        cache.to_str().unwrap(),
+        "--out",
+        out2.to_str().unwrap(),
+        "fig3.8",
+    ]));
+    assert_eq!(result.status.code(), Some(0));
+    let record = first_record(&out2);
+    let stats = record.get("cache").unwrap();
+    assert_eq!(stats.get("disk_hits").unwrap().as_u64(), Some(0));
+    assert_eq!(stats.get("disk_misses").unwrap().as_u64(), Some(0));
+    assert_eq!(stats.get("bytes_written").unwrap().as_u64(), Some(0));
+    assert_eq!(artifacts(&cache), before, "--no-cache must not touch the cache dir");
+    for dir in [&cache, &out1, &out2] {
+        std::fs::remove_dir_all(dir).ok();
+    }
 }

@@ -15,6 +15,7 @@ fn manifest_shape_is_golden() {
     // experiment, drain the telemetry counters, save the CSV.
     let _ = runner::take_stats();
     let _ = take_oracle_stats();
+    let _ = ntc_choke::experiments::cache::take_stats();
     let _ = runner::take_sweep_failures();
     let start = std::time::Instant::now();
     let table = ch3::fig_3_4(Scale::Fast);
@@ -28,9 +29,11 @@ fn manifest_shape_is_golden() {
         wall_s: start.elapsed().as_secs_f64(),
         sweep: runner::take_stats(),
         oracle: take_oracle_stats(),
+        cache: ntc_choke::experiments::cache::take_stats(),
         sweep_failures: runner::take_sweep_failures(),
         rows: table.rows.len(),
         csv: Some(csv),
+        resumed: false,
         error: None,
     };
     let oracle_queries = record.oracle.queries();
@@ -61,10 +64,12 @@ fn manifest_shape_is_golden() {
             "sweep_busy_ns",
             "sweep_wall_ns",
             "oracle",
+            "cache",
             "sweep_failures",
             "rows",
             "csv",
             "status",
+            "resumed",
             "error"
         ],
         "per-record manifest shape"
@@ -74,6 +79,12 @@ fn manifest_shape_is_golden() {
         vec!["gate_sims", "local_hits", "shared_hits"],
         "oracle counter shape"
     );
+    assert_eq!(
+        rec.get("cache").unwrap().keys().unwrap(),
+        vec!["disk_hits", "disk_misses", "corrupt_evictions", "bytes_written"],
+        "grid cache counter shape"
+    );
+    assert_eq!(rec.get("resumed"), Some(&ntc_choke::experiments::report::Json::Bool(false)));
     // And the values describe the run we just made.
     assert_eq!(rec.get("rows").unwrap().as_f64(), Some(8.0));
     assert_eq!(rec.get("status").unwrap().as_str(), Some("pass"));
