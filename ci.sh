@@ -45,14 +45,14 @@ test -s target/repro-ci/manifest.json
 test -s target/repro-ci/fig3_4.csv
 # The manifest and every stdout table document must parse as JSON.
 if command -v jq >/dev/null 2>&1; then
-  jq -e '.schema == "ntc-repro-manifest/2" and .failed == 0 and (.records | length) == 1' \
+  jq -e '.schema == "ntc-repro-manifest/3" and .failed == 0 and (.records | length) == 1' \
     target/repro-ci/manifest.json >/dev/null
   jq -e . target/repro-ci-tables.jsonl >/dev/null
 elif command -v python3 >/dev/null 2>&1; then
   python3 - <<'EOF'
 import json
 m = json.load(open("target/repro-ci/manifest.json"))
-assert m["schema"] == "ntc-repro-manifest/2" and m["failed"] == 0 and len(m["records"]) == 1, m
+assert m["schema"] == "ntc-repro-manifest/3" and m["failed"] == 0 and len(m["records"]) == 1, m
 for line in open("target/repro-ci-tables.jsonl"):
     if line.strip():
         json.loads(line)
@@ -87,6 +87,26 @@ rm -rf target/repro-ci-evict
 cmp target/repro-ci-cold/fig3_8.csv target/repro-ci-evict/fig3_8.csv
 grep -Eq '"corrupt_evictions":[1-9][0-9]*,' target/repro-ci-evict/manifest.json
 ls target/repro-ci-cache/*.grid.corrupt >/dev/null
+
+echo "==> timing screen: on vs off, byte-identical CSVs, nonzero hit rate"
+# fig3.11 carries HFG, whose guardbanded clock the conservative screen can
+# prove safe — the armed screen must fire there. Two cold processes (no
+# --cache-dir, separate --out dirs), every CSV compared byte-for-byte.
+rm -rf target/repro-ci-screen-on target/repro-ci-screen-off
+./target/release/repro --fast --out target/repro-ci-screen-on fig3.11 >/dev/null
+./target/release/repro --fast --no-screen --out target/repro-ci-screen-off \
+  fig3.11 >/dev/null
+cmp target/repro-ci-screen-on/fig3_11.csv target/repro-ci-screen-off/fig3_11.csv
+# Counters are emitted in a fixed key order (OracleStats::fields):
+# the screened manifest must record hits, the unscreened one must not.
+grep -Eq '"screen_hits":[1-9][0-9]*,' target/repro-ci-screen-on/manifest.json
+grep -q '"screen_hits":0,' target/repro-ci-screen-off/manifest.json
+# NTC_SCREEN=off must behave exactly like --no-screen.
+rm -rf target/repro-ci-screen-env
+NTC_SCREEN=off ./target/release/repro --fast --out target/repro-ci-screen-env \
+  fig3.11 >/dev/null
+cmp target/repro-ci-screen-on/fig3_11.csv target/repro-ci-screen-env/fig3_11.csv
+grep -q '"screen_hits":0,' target/repro-ci-screen-env/manifest.json
 
 echo "==> repro --resume finishes a suite a failed experiment cut short"
 rm -rf target/repro-ci-resume

@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! repro [--full] [--jobs N] [--out DIR] [--format text|json]
-//!       [--cache-dir DIR] [--no-cache] [--resume] [ID ...]
+//!       [--cache-dir DIR] [--no-cache] [--no-screen] [--resume] [ID ...]
 //! ```
 //!
 //! With no IDs, the whole suite runs. `--full` switches to paper-scale
@@ -31,6 +31,13 @@
 //!   whose CSV is still on disk, carrying the old record forward marked
 //!   `"resumed": true`. Failed or missing experiments run again — a
 //!   crashed suite finishes from where it stopped.
+//!
+//! `--no-screen` (or `NTC_SCREEN=off` in the environment) disables the
+//! conservative timing screen in front of the exact dynamic kernel.
+//! Results are bit-identical with the screen on or off — the screen only
+//! skips cycles it can prove safe — so the flag exists for A/B timing
+//! comparisons and as a belt-and-braces escape hatch; CI runs the fast
+//! suite both ways and compares every CSV byte-for-byte.
 //!
 //! Every run also writes `<out>/manifest.json`: one structured
 //! [`RunRecord`] per experiment (scale, jobs, wall time, sweep busy/wall
@@ -90,6 +97,7 @@ fn run() -> i32 {
                 }
             },
             "--no-cache" => no_cache = true,
+            "--no-screen" => ntc_experiments::config::set_screen_disabled(true),
             "--resume" => resume = true,
             "--jobs" | "-j" => {
                 match args
@@ -134,9 +142,11 @@ fn run() -> i32 {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--full] [--jobs N] [--out DIR] [--format text|json] \
-                     [--cache-dir DIR] [--no-cache] [--resume] [--list] [ID ...]\n\
+                     [--cache-dir DIR] [--no-cache] [--no-screen] [--resume] [--list] [ID ...]\n\
                      --cache-dir DIR  persistent grid-result cache shared across runs\n\
                      --no-cache       bypass all grid caching (cold run)\n\
+                     --no-screen      disable the conservative timing screen (also NTC_SCREEN=off);\n\
+                     \u{20}                results are bit-identical, only exact-kernel work changes\n\
                      --resume         skip experiments already passing in <out>/manifest.json\n\
                      exit codes: 0 all good; 1 experiment/CSV/manifest failure; \
                      2 usage error or unknown ID"
@@ -360,6 +370,15 @@ fn describe(r: &RunRecord) -> String {
             ", oracle {} sims / {} local hits / {} shared hits",
             r.oracle.gate_sims, r.oracle.local_hits, r.oracle.shared_hits
         ));
+        // Screen tier (two-tier oracle): cycles answered by the
+        // conservative bound vs inconclusive screens that fell through to
+        // the exact kernel vs queries that bypassed the screen outright.
+        if r.oracle.screen_hits + r.oracle.screen_misses + r.oracle.screen_fallbacks > 0 {
+            line.push_str(&format!(
+                ", screen {} hits / {} misses / {} fallbacks",
+                r.oracle.screen_hits, r.oracle.screen_misses, r.oracle.screen_fallbacks
+            ));
+        }
     }
     // Grid disk-cache traffic: a warm rerun shows hits where the cold run
     // showed misses + bytes written; corrupt evictions flag artifacts

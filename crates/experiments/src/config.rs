@@ -14,10 +14,30 @@ use ntc_core::tag_delay::{OracleConfig, SharedDelayCache, TagDelayOracle};
 use ntc_netlist::buffer_insertion::insert_hold_buffers;
 use ntc_netlist::generators::alu::Alu;
 use ntc_netlist::Netlist;
-use ntc_timing::ClockSpec;
+use ntc_timing::{ClockSpec, ScreenBounds, StaticTiming};
 use ntc_varmodel::{ChipSignature, Corner, VariationParams};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// Process-wide opt-out of the conservative timing screen (the fast tier
+/// of the two-tier oracle). Results are bit-identical either way; only
+/// the number of exact gate-level simulations changes.
+static SCREEN_DISABLED: AtomicBool = AtomicBool::new(false);
+
+/// Disable (or re-enable) the timing screen for every oracle built after
+/// this call — the `repro --no-screen` escape hatch. Mirrors
+/// [`crate::cache::set_disabled`].
+pub fn set_screen_disabled(disabled: bool) {
+    SCREEN_DISABLED.store(disabled, Ordering::Relaxed);
+}
+
+/// True when the screen is off, via [`set_screen_disabled`] or the
+/// `NTC_SCREEN=off` (or `0`) environment variable.
+pub fn screen_disabled() -> bool {
+    SCREEN_DISABLED.load(Ordering::Relaxed)
+        || std::env::var("NTC_SCREEN").is_ok_and(|v| v == "off" || v == "0")
+}
 
 /// How much work an experiment run does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -125,18 +145,27 @@ impl ClockRegime {
 }
 
 /// Everything that is a pure function of one fabricated chip: its padded
-/// (or bare) netlist, its fabricated signature, and the delay table its
-/// oracles fill in. Memoized so experiments sharing a chip neither
-/// re-fabricate it nor repeat each other's Phase-A gate simulations.
+/// (or bare) netlist, its fabricated signature, the delay table its
+/// oracles fill in, the static-timing summaries every consumer needs, and
+/// the screen's slack tables. Memoized so experiments sharing a chip
+/// neither re-fabricate it, repeat each other's Phase-A gate simulations,
+/// nor re-run static analysis per call site.
 struct ChipBlank {
     netlist: Netlist,
     signature: ChipSignature,
     delays: SharedDelayCache,
+    /// Nominal (PV-free) critical delay of this netlist variant.
+    nominal_critical_ps: f64,
+    /// Post-silicon static critical delay of this fabricated chip.
+    static_critical_ps: f64,
+    /// Conservative toggle-to-output bound tables for the screen.
+    screen: Arc<ScreenBounds>,
 }
 
 /// Memo key: everything [`build_oracle`] folds into the chip. `vdd` and
-/// `hold_frac` enter as bit patterns so custom corners (the voltage sweep)
-/// and regimes hash exactly.
+/// `hold_frac` enter as bit patterns so custom corners (the voltage
+/// sweep) and regimes hash exactly; the hold fraction shapes the buffered
+/// netlist variant.
 type ChipKey = (u64, &'static str, u64, bool, u64);
 
 /// Two-level memo: the outer mutex only guards the key→cell map, while
@@ -164,17 +193,19 @@ fn chip_blank(corner: Corner, seed: u64, buffered: bool, regime: ClockRegime) ->
     };
     cell.get_or_init(|| {
         let alu = Alu::new(ntc_isa::ARCH_WIDTH);
+        // The bare die's nominal critical delay anchors every clock of the
+        // study (buffer padding must not slow the target clock).
+        let bare_nominal = ChipSignature::nominal(alu.netlist(), corner);
+        let bare_critical_ps = StaticTiming::analyze(alu.netlist(), &bare_nominal)
+            .critical_delay_ps(alu.netlist());
         let netlist = if buffered {
-            let nominal = ChipSignature::nominal(alu.netlist(), corner);
-            let critical = ntc_timing::StaticTiming::analyze(alu.netlist(), &nominal)
-                .critical_delay_ps(alu.netlist());
             // Design-time hold fixing pads every short path up to the
             // constraint using nominal delays within the setup slack; the
             // resulting buffer chains dominate the padded paths, which is
             // precisely what post-silicon choke buffers exploit. Targets are
             // expressed in the design-time (nominal STC) delay frame.
-            let hold_stc_frame = critical * regime.hold_frac / corner.delay_factor();
-            let setup_stc_frame = critical * 0.72 / corner.delay_factor();
+            let hold_stc_frame = bare_critical_ps * regime.hold_frac / corner.delay_factor();
+            let setup_stc_frame = bare_critical_ps * 0.72 / corner.delay_factor();
             let (padded, _, _) = insert_hold_buffers(alu.netlist(), hold_stc_frame, setup_stc_frame);
             padded
         } else {
@@ -186,10 +217,26 @@ fn chip_blank(corner: Corner, seed: u64, buffered: bool, regime: ClockRegime) ->
             VariationParams::ntc()
         };
         let signature = ChipSignature::fabricate(&netlist, corner, params, seed);
+        // One static analysis per chip, hoisted here from the per-call
+        // accessors: the nominal critical of *this* netlist variant (what
+        // the oracle reports), the fabricated chip's static critical, and
+        // the screen's slack tables all come from the same memoized pass.
+        let nominal_critical_ps = if buffered {
+            let nominal = ChipSignature::nominal(&netlist, corner);
+            StaticTiming::analyze(&netlist, &nominal).critical_delay_ps(&netlist)
+        } else {
+            bare_critical_ps
+        };
+        let sta = StaticTiming::analyze(&netlist, &signature);
+        let static_critical_ps = sta.critical_delay_ps(&netlist);
+        let screen = Arc::new(ScreenBounds::build(&netlist, &signature, &sta));
         Arc::new(ChipBlank {
             netlist,
             signature,
             delays: SharedDelayCache::default(),
+            nominal_critical_ps,
+            static_critical_ps,
+            screen,
         })
     })
     .clone()
@@ -211,14 +258,25 @@ fn chip_blank(corner: Corner, seed: u64, buffered: bool, regime: ClockRegime) ->
 /// Phase-A gate simulations. Results are bit-identical either way — the
 /// delay table is a pure function of the chip (see
 /// [`ntc_core::tag_delay::SharedDelayCache`]).
+/// Oracles also carry the chip's memoized critical delays (so the
+/// accessors stop re-running static analysis) and — unless
+/// [`set_screen_disabled`]`(true)` or `NTC_SCREEN=off` is in force — the
+/// chip's conservative timing screen (armed per run at the run's own
+/// clock by `run_scheme`/`profile_errors`).
 pub fn build_oracle(corner: Corner, seed: u64, buffered: bool, regime: ClockRegime) -> TagDelayOracle {
     let blank = chip_blank(corner, seed, buffered, regime);
-    TagDelayOracle::new(
+    let oracle = TagDelayOracle::new(
         blank.netlist.clone(),
         blank.signature.clone(),
         OracleConfig::default(),
     )
     .with_shared_cache(blank.delays.clone())
+    .with_critical_delays(blank.nominal_critical_ps, blank.static_critical_ps);
+    if screen_disabled() {
+        oracle
+    } else {
+        oracle.with_screen(blank.screen.clone())
+    }
 }
 
 /// Normalize a series against its first element (the figures normalize

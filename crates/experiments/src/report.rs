@@ -26,8 +26,9 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// Manifest format identifier; bump on breaking shape changes.
-/// (`/2` added the per-record `cache` counters and `resumed` marker.)
-pub const MANIFEST_SCHEMA: &str = "ntc-repro-manifest/2";
+/// (`/2` added the per-record `cache` counters and `resumed` marker;
+/// `/3` added the oracle screen counters.)
+pub const MANIFEST_SCHEMA: &str = "ntc-repro-manifest/3";
 
 /// Telemetry of one experiment run inside a `repro` invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -167,6 +168,9 @@ impl RunRecord {
             gate_sims: u64_of(oracle_obj, "gate_sims")?,
             local_hits: u64_of(oracle_obj, "local_hits")?,
             shared_hits: u64_of(oracle_obj, "shared_hits")?,
+            screen_hits: u64_of(oracle_obj, "screen_hits")?,
+            screen_misses: u64_of(oracle_obj, "screen_misses")?,
+            screen_fallbacks: u64_of(oracle_obj, "screen_fallbacks")?,
         };
         let cache_obj = v
             .get("cache")
@@ -797,6 +801,9 @@ mod tests {
                 gate_sims: 7,
                 local_hits: 40,
                 shared_hits: 3,
+                screen_hits: 25,
+                screen_misses: 4,
+                screen_fallbacks: 2,
             },
             cache: CacheStats {
                 disk_hits: 1,

@@ -201,10 +201,30 @@ where
     out
 }
 
+/// The order a cell *executes* its schemes in: guardbanded (stretched-
+/// clock) schemes first, everything else in spec order after them.
+///
+/// Results are independent of the execution order — every scheme replays
+/// the same trace, so each `(tag, bucket)` of the cell's oracle is defined
+/// by the same first pair no matter which scheme touches it first, and the
+/// exact delay of a pair is a pure function of the chip. What the order
+/// *does* change is who performs the first resolution of each bucket:
+/// running HFG first lets the conservative timing screen answer its whole
+/// run from slack bounds (its guardband clock sits past the chip's static
+/// critical delay, the ceiling of every cone bound), and the tight-clock
+/// schemes afterwards promote only the buckets they actually revisit.
+pub fn screen_run_order(schemes: &[SchemeSpec]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..schemes.len()).collect();
+    order.sort_by_key(|&i| !matches!(schemes[i], SchemeSpec::Hfg));
+    order
+}
+
 /// One (benchmark, chip) cell: build the chip's oracle(s), derive the
 /// regime clocks from the *bare* die's nominal critical delay (the
 /// canonical clock policy — buffer padding must not slow the target
 /// clock), and run every scheme of the spec over one shared trace.
+/// Schemes execute in [`screen_run_order`]; the returned results are in
+/// spec order regardless.
 fn run_cell(spec: &GridSpec, bench: Benchmark, chip: usize, need_buffered: bool) -> Vec<SimResult> {
     let regime = spec.regime.params();
     let seed = spec.chip_seed_base + chip as u64;
@@ -213,24 +233,40 @@ fn run_cell(spec: &GridSpec, bench: Benchmark, chip: usize, need_buffered: bool)
     let nominal = bare.nominal_critical_delay_ps();
     let clock = regime.clock(nominal);
     let tdc_clock = regime.tdc_clock(nominal);
+    // Hoisted out of the scheme loop: the static critical delay is a
+    // chip property (memoized with the blank), not a per-scheme one.
+    let bare_static = bare.static_critical_delay_ps();
+    let buffered_static = buffered.as_ref().map(|o| o.static_critical_delay_ps());
     let trace = TraceGenerator::new(bench, spec.trace_seed).trace(spec.cycles);
-    spec.schemes
-        .iter()
-        .map(|s| {
-            let oracle = if s.wants_buffered_netlist() {
-                buffered.as_mut().expect("buffered oracle built on demand")
-            } else {
-                &mut bare
-            };
-            let scheme_clock = if s.uses_tdc_clock() { tdc_clock } else { clock };
-            let ctx = ChipContext {
-                static_critical_delay_ps: oracle.static_critical_delay_ps(),
-                clock: scheme_clock,
-                trace_len: trace.len(),
-            };
-            let mut scheme = s.build(&ctx);
-            run_scheme(scheme.as_mut(), oracle, &trace, scheme_clock, Pipeline::core1())
-        })
+    let mut results: Vec<Option<SimResult>> = vec![None; spec.schemes.len()];
+    for i in screen_run_order(&spec.schemes) {
+        let s = &spec.schemes[i];
+        let (oracle, static_critical) = if s.wants_buffered_netlist() {
+            (
+                buffered.as_mut().expect("buffered oracle built on demand"),
+                buffered_static.expect("buffered oracle built on demand"),
+            )
+        } else {
+            (&mut bare, bare_static)
+        };
+        let scheme_clock = if s.uses_tdc_clock() { tdc_clock } else { clock };
+        let ctx = ChipContext {
+            static_critical_delay_ps: static_critical,
+            clock: scheme_clock,
+            trace_len: trace.len(),
+        };
+        let mut scheme = s.build(&ctx);
+        results[i] = Some(run_scheme(
+            scheme.as_mut(),
+            oracle,
+            &trace,
+            scheme_clock,
+            Pipeline::core1(),
+        ));
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every scheme of the spec ran"))
         .collect()
 }
 
@@ -312,6 +348,20 @@ pub fn run_grid(spec: &GridSpec) -> Arc<GridResult> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn screen_run_order_puts_guardbanded_schemes_first_and_is_otherwise_stable() {
+        let spec = vec![
+            SchemeSpec::RazorCh3,
+            SchemeSpec::DcsIcslt { entries: 128 },
+            SchemeSpec::Hfg,
+            SchemeSpec::Trident { cet_entries: 128 },
+            SchemeSpec::Hfg,
+            SchemeSpec::Ocst,
+        ];
+        assert_eq!(screen_run_order(&spec), vec![2, 4, 0, 1, 3, 5]);
+        assert_eq!(screen_run_order(&[]), Vec::<usize>::new());
+    }
 
     #[test]
     fn expand_orders_chips_within_groups() {

@@ -8,6 +8,8 @@
 //!   under a per-chip delay signature;
 //! * [`dynamic`] — glitch-aware two-vector (initializing + sensitizing)
 //!   timing simulation producing per-output transition waveforms;
+//! * [`screen`] — conservative per-cycle screening (toggled-input cone
+//!   bounds) that skips the exact kernel on provably-safe cycles;
 //! * [`choke`] — CDL / CGL choke-point metrics over sensitized cycles;
 //! * [`errors`] — classification of cycles into minimum / maximum timing
 //!   violations and Trident's SE / CE error classes.
@@ -47,6 +49,7 @@ pub mod errors;
 pub mod paths;
 #[cfg(test)]
 mod reference;
+pub mod screen;
 pub mod sta;
 
 pub use choke::{identify_choke_event, CdlCategory, CdlCglProfile, ChokeEvent, ALL_CDL_CATEGORIES};
@@ -58,4 +61,5 @@ pub use errors::{
     ErrorClass,
 };
 pub use paths::{k_critical_paths, RankedPath, SlackReport};
+pub use screen::{ScreenBounds, ScreenVerdict, ScreenedSim, SCREEN_GUARD_PS};
 pub use sta::{StaticTiming, TimingPath};

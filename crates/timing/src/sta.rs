@@ -7,6 +7,17 @@
 
 use ntc_varmodel::ChipSignature;
 use ntc_netlist::{Netlist, Signal};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of [`StaticTiming::analyze`] runs, for regression
+/// tests that pin how often the (linear but non-free) analysis executes —
+/// e.g. that the chip memo pool builds each chip's tables exactly once.
+static ANALYSIS_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Total [`StaticTiming::analyze`] invocations in this process so far.
+pub fn analysis_count() -> u64 {
+    ANALYSIS_COUNT.load(Ordering::Relaxed)
+}
 
 /// Static arrival times for every signal of a netlist under one chip's
 /// delay signature.
@@ -29,6 +40,7 @@ impl StaticTiming {
             nl.len(),
             "signature/netlist mismatch"
         );
+        ANALYSIS_COUNT.fetch_add(1, Ordering::Relaxed);
         let n = nl.len();
         let mut max_arrival = vec![0.0f64; n];
         let mut min_arrival = vec![0.0f64; n];

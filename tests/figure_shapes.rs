@@ -76,7 +76,14 @@ fn manifest_shape_is_golden() {
     );
     assert_eq!(
         rec.get("oracle").unwrap().keys().unwrap(),
-        vec!["gate_sims", "local_hits", "shared_hits"],
+        vec![
+            "gate_sims",
+            "local_hits",
+            "shared_hits",
+            "screen_hits",
+            "screen_misses",
+            "screen_fallbacks"
+        ],
         "oracle counter shape"
     );
     assert_eq!(

@@ -1,0 +1,213 @@
+//! Screen conformance suite: the two-tier timing oracle (STA-slack screen
+//! in front of the exact event-driven kernel) must be *invisible* in every
+//! observable result. The screen may only skip work, never change it:
+//!
+//! * every registered scheme, on both chip corners and under both study
+//!   regimes, produces a bit-identical `SimResult` (including
+//!   `recovered_by_class`) with the screen on or off;
+//! * the fast-scale figure CSVs are byte-identical with the screen on or off;
+//! * a deliberately optimistic (unsound) bound *is* caught by the suite —
+//!   the differential harness has teeth.
+//!
+//! Tests that flip the process-wide screen/cache switches serialize on a
+//! shared mutex so the binary stays safe under the default parallel test
+//! runner.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use ntc_choke::core::scenario::{ChipContext, SchemeSpec};
+use ntc_choke::core::sim::{profile_errors, run_scheme, SimResult};
+use ntc_choke::core::tag_delay::{OracleConfig, TagDelayOracle};
+use ntc_choke::experiments::config::set_screen_disabled;
+use ntc_choke::experiments::{
+    build_oracle, cache, ch3, ch4, screen_run_order, ClockRegime, Scale, CH3_REGIME, CH4_REGIME,
+};
+use ntc_choke::pipeline::Pipeline;
+use ntc_choke::timing::{ClockSpec, ScreenBounds, StaticTiming};
+use ntc_choke::varmodel::{Corner, VariationParams};
+use ntc_choke::workload::{Benchmark, TraceGenerator};
+
+/// Serializes every test in this binary: they toggle process-wide switches
+/// (`set_screen_disabled`, `cache::set_disabled`) and drain global telemetry.
+static GLOBAL_SWITCHES: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    GLOBAL_SWITCHES.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+const TRACE_LEN: usize = 4_000;
+
+fn trace(bench: Benchmark) -> Vec<ntc_choke::isa::Instruction> {
+    TraceGenerator::new(bench, 8).trace(TRACE_LEN)
+}
+
+/// Mirror of `scenario::run_cell`: run the full `SchemeSpec` roster on one
+/// chip under `regime`, returning the per-scheme results and the number of
+/// screen hits the run produced.
+fn run_roster(corner: Corner, seed: u64, regime: ClockRegime, screened: bool) -> (Vec<SimResult>, u64) {
+    set_screen_disabled(!screened);
+    let need_buffered = SchemeSpec::roster().iter().any(SchemeSpec::wants_buffered_netlist);
+    let mut bare = build_oracle(corner, seed, false, regime);
+    let mut buffered = need_buffered.then(|| build_oracle(corner, seed, true, regime));
+    set_screen_disabled(false);
+    assert_eq!(bare.has_screen(), screened, "screen toggle respected");
+
+    let nominal = bare.nominal_critical_delay_ps();
+    let clock = regime.clock(nominal);
+    let tdc_clock = regime.tdc_clock(nominal);
+    let bare_static = bare.static_critical_delay_ps();
+    let buffered_static = buffered.as_ref().map(|o| o.static_critical_delay_ps());
+    let trace = trace(Benchmark::Mcf);
+
+    // Same execution order as `scenario::run_cell`: guardbanded schemes run
+    // first so the armed screen — not another scheme's exact-cache residue —
+    // gets first touch on each bucket. Results come back in roster order.
+    let roster = SchemeSpec::roster();
+    let mut results: Vec<Option<SimResult>> = vec![None; roster.len()];
+    for i in screen_run_order(roster) {
+        let s = &roster[i];
+        let (oracle, static_critical) = if s.wants_buffered_netlist() {
+            (
+                buffered.as_mut().expect("buffered oracle built on demand"),
+                buffered_static.expect("buffered oracle built on demand"),
+            )
+        } else {
+            (&mut bare, bare_static)
+        };
+        let scheme_clock = if s.uses_tdc_clock() { tdc_clock } else { clock };
+        let ctx = ChipContext {
+            static_critical_delay_ps: static_critical,
+            clock: scheme_clock,
+            trace_len: trace.len(),
+        };
+        let mut scheme = s.build(&ctx);
+        results[i] = Some(run_scheme(scheme.as_mut(), oracle, &trace, scheme_clock, Pipeline::core1()));
+    }
+    let results: Vec<SimResult> = results
+        .into_iter()
+        .map(|r| r.expect("every roster entry ran"))
+        .collect();
+
+    let hits = bare.screen_hit_count()
+        + buffered.as_ref().map_or(0, TagDelayOracle::screen_hit_count);
+    (results, hits)
+}
+
+/// Tentpole contract, scheme level: every registry entry, on both fabricated
+/// corners and under both regimes, is bit-identical with the screen on or
+/// off — error counts, recovery classes, cost model, everything `SimResult`
+/// carries.
+///
+/// The screened pass runs *first* so its chip blanks start cold (the shared
+/// delay cache memoized with the blank only ever holds exact values, so the
+/// order affects how much work each pass does, never what it computes).
+/// The hit floor comes from HFG: its guardband clock sits past the chip's
+/// static critical delay — the ceiling of every cone bound — so its runs
+/// screen, on any corner, wherever the regime's hold window stays below the
+/// shortest toggle-to-output path (the Ch. 3 regime; Ch. 4's deep hold
+/// window defeats the min-side bound, like it defeats hold buffers).
+#[test]
+fn roster_results_identical_screen_on_vs_off_on_both_corners() {
+    let _g = exclusive();
+    for (corner, seed) in [(Corner::NTC, 880_101_u64), (Corner::STC, 880_102_u64)] {
+        let mut hits_total = 0;
+        for regime in [CH3_REGIME, CH4_REGIME] {
+            let (with_screen, hits) = run_roster(corner, seed, regime, true);
+            let (without, _) = run_roster(corner, seed, regime, false);
+            hits_total += hits;
+            assert_eq!(with_screen.len(), without.len());
+            for (on, off) in with_screen.iter().zip(&without) {
+                assert_eq!(
+                    on, off,
+                    "{corner:?}/{}: SimResult must not depend on the screen",
+                    on.scheme
+                );
+            }
+        }
+        assert!(hits_total > 0, "{corner:?}: the armed screen never fired");
+    }
+}
+
+/// Tentpole contract, artifact level: the fast-scale figure CSVs (the same
+/// runners the golden-CSV suite pins) are byte-for-byte identical with the
+/// screen on or off. The grid memo is disabled so the second pass really
+/// recomputes instead of replaying the first pass's rows.
+#[test]
+fn fast_scale_csv_bytes_identical_screen_on_vs_off() {
+    let _g = exclusive();
+    cache::set_disabled(true);
+    let render = |runner: fn(Scale) -> ntc_choke::experiments::ResultTable| {
+        let table = runner(Scale::Fast);
+        let mut bytes = Vec::new();
+        table.write_csv(&mut bytes).expect("CSV renders to memory");
+        bytes
+    };
+    for (name, runner) in [
+        ("fig3.4", ch3::fig_3_4 as fn(Scale) -> _),
+        ("fig4.3", ch4::fig_4_3 as fn(Scale) -> _),
+    ] {
+        set_screen_disabled(false);
+        let on = render(runner);
+        set_screen_disabled(true);
+        let off = render(runner);
+        set_screen_disabled(false);
+        assert_eq!(on, off, "{name}: CSV bytes must not depend on the screen");
+    }
+    cache::set_disabled(false);
+}
+
+/// The differential battery has teeth: a deliberately optimistic bound table
+/// (max delays understated, min delays overstated) makes the screened oracle
+/// *miss real errors*, which the equality checks above would flag. An honest
+/// table, by construction, changes nothing.
+#[test]
+fn deliberately_optimistic_bounds_are_caught() {
+    let _g = exclusive();
+    let fresh = || {
+        TagDelayOracle::for_chip(Corner::NTC, VariationParams::ntc(), 5, OracleConfig::default())
+    };
+    let mut exact = fresh();
+    let nominal = exact.nominal_critical_delay_ps();
+    // Aggressive ch4-style point: enough overclocking that Mcf produces a
+    // healthy error population (same operating point sim.rs tests pin).
+    let clock = ClockSpec { period_ps: nominal * 0.75, hold_ps: nominal * 0.06 };
+    let trace = trace(Benchmark::Mcf);
+    let baseline = profile_errors(&mut exact, &trace, clock);
+    assert!(baseline.errors_total() > 0, "fixture must produce errors");
+
+    let bounds = |oracle: &TagDelayOracle| {
+        let sta = StaticTiming::analyze(oracle.netlist(), oracle.signature());
+        ScreenBounds::build(oracle.netlist(), oracle.signature(), &sta)
+    };
+
+    // Honest bounds: the profile is unchanged, field for field. (At this
+    // NTC operating point the honest screen proves nothing — every cone
+    // reaches the doubled post-variation critical path — so this doubles
+    // as the everything-inconclusive regression case.)
+    let honest = fresh();
+    let honest_bounds = bounds(&honest);
+    let mut honest = honest.with_screen(Arc::new(honest_bounds));
+    let screened = profile_errors(&mut honest, &trace, clock);
+    assert_eq!(screened.cycles, baseline.cycles);
+    assert_eq!(screened.by_class, baseline.by_class);
+    assert_eq!(screened.per_opcode, baseline.per_opcode);
+    assert_eq!(screened.per_opcode_minmax, baseline.per_opcode_minmax);
+    assert_eq!(screened.by_size, baseline.by_size);
+
+    // Corrupted bounds, optimistic enough (max side scaled well under the
+    // period, min side pushed past the hold window) that "safe" verdicts
+    // now cover cycles whose true delays violate the clock: errors vanish
+    // from the profile — exactly the divergence this suite exists to catch.
+    let buggy = fresh();
+    let buggy_bounds = bounds(&buggy).corrupted_for_tests(0.3);
+    let mut buggy = buggy.with_screen(Arc::new(buggy_bounds));
+    let broken = profile_errors(&mut buggy, &trace, clock);
+    assert!(buggy.screen_hit_count() > 0, "corrupted screen must engage");
+    assert!(
+        broken.errors_total() < baseline.errors_total(),
+        "optimistic bounds must lose errors ({} vs {}) — if this ever fails, \
+         the corruption factor no longer bites and the battery is blind",
+        broken.errors_total(),
+        baseline.errors_total()
+    );
+}
