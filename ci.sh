@@ -45,14 +45,14 @@ test -s target/repro-ci/manifest.json
 test -s target/repro-ci/fig3_4.csv
 # The manifest and every stdout table document must parse as JSON.
 if command -v jq >/dev/null 2>&1; then
-  jq -e '.schema == "ntc-repro-manifest/3" and .failed == 0 and (.records | length) == 1' \
+  jq -e '.schema == "ntc-repro-manifest/4" and .failed == 0 and (.records | length) == 1' \
     target/repro-ci/manifest.json >/dev/null
   jq -e . target/repro-ci-tables.jsonl >/dev/null
 elif command -v python3 >/dev/null 2>&1; then
   python3 - <<'EOF'
 import json
 m = json.load(open("target/repro-ci/manifest.json"))
-assert m["schema"] == "ntc-repro-manifest/3" and m["failed"] == 0 and len(m["records"]) == 1, m
+assert m["schema"] == "ntc-repro-manifest/4" and m["failed"] == 0 and len(m["records"]) == 1, m
 for line in open("target/repro-ci-tables.jsonl"):
     if line.strip():
         json.loads(line)
@@ -107,6 +107,25 @@ NTC_SCREEN=off ./target/release/repro --fast --out target/repro-ci-screen-env \
   fig3.11 >/dev/null
 cmp target/repro-ci-screen-on/fig3_11.csv target/repro-ci-screen-env/fig3_11.csv
 grep -q '"screen_hits":0,' target/repro-ci-screen-env/manifest.json
+
+echo "==> incremental re-timing: on vs off, byte-identical CSVs, counters"
+# fig3.8's fast grid walks several chips on one topology, so the memo
+# pool re-times chip→chip deltas instead of re-analyzing — the armed
+# engine must record incremental passes, and disarming it (either
+# spelling) must not change a single CSV byte.
+rm -rf target/repro-ci-incr-on target/repro-ci-incr-off target/repro-ci-incr-env
+./target/release/repro --fast --out target/repro-ci-incr-on fig3.8 >/dev/null
+./target/release/repro --fast --no-incr --out target/repro-ci-incr-off \
+  fig3.8 >/dev/null
+cmp target/repro-ci-incr-on/fig3_8.csv target/repro-ci-incr-off/fig3_8.csv
+# Counters are emitted in a fixed key order (OracleStats::fields).
+grep -Eq '"sta_incremental":[1-9][0-9]*,' target/repro-ci-incr-on/manifest.json
+grep -q '"sta_incremental":0,' target/repro-ci-incr-off/manifest.json
+# NTC_INCR=off must behave exactly like --no-incr.
+NTC_INCR=off ./target/release/repro --fast --out target/repro-ci-incr-env \
+  fig3.8 >/dev/null
+cmp target/repro-ci-incr-on/fig3_8.csv target/repro-ci-incr-env/fig3_8.csv
+grep -q '"sta_incremental":0,' target/repro-ci-incr-env/manifest.json
 
 echo "==> repro --resume finishes a suite a failed experiment cut short"
 rm -rf target/repro-ci-resume

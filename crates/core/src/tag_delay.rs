@@ -138,6 +138,17 @@ pub struct OracleStats {
     /// the clock in force was incompatible with the screen thresholds, or
     /// the caller needed numeric delays — and ran/fetched the exact value.
     pub screen_fallbacks: u64,
+    /// Full from-scratch static timing analyses
+    /// ([`ntc_timing::StaticTiming::analyze`] passes).
+    pub sta_full: u64,
+    /// Incremental re-timing passes: chip→chip (or point-mutation) delay
+    /// deltas propagated through the retained engine instead of a full
+    /// analysis.
+    pub sta_incremental: u64,
+    /// Gates/nets actually re-folded across those incremental passes —
+    /// the work the delta propagation did, to set against a full pass's
+    /// `netlist.len()` per chip.
+    pub incr_gates_touched: u64,
 }
 
 impl OracleStats {
@@ -148,7 +159,7 @@ impl OracleStats {
 
     /// The counters as stable `(field name, value)` pairs, in declaration
     /// order — the single source of truth for serializers.
-    pub fn fields(&self) -> [(&'static str, u64); 6] {
+    pub fn fields(&self) -> [(&'static str, u64); 9] {
         [
             ("gate_sims", self.gate_sims),
             ("local_hits", self.local_hits),
@@ -156,6 +167,9 @@ impl OracleStats {
             ("screen_hits", self.screen_hits),
             ("screen_misses", self.screen_misses),
             ("screen_fallbacks", self.screen_fallbacks),
+            ("sta_full", self.sta_full),
+            ("sta_incremental", self.sta_incremental),
+            ("incr_gates_touched", self.incr_gates_touched),
         ]
     }
 }
@@ -170,6 +184,9 @@ impl std::ops::AddAssign for OracleStats {
         self.screen_hits += rhs.screen_hits;
         self.screen_misses += rhs.screen_misses;
         self.screen_fallbacks += rhs.screen_fallbacks;
+        self.sta_full += rhs.sta_full;
+        self.sta_incremental += rhs.sta_incremental;
+        self.incr_gates_touched += rhs.incr_gates_touched;
     }
 }
 
@@ -182,8 +199,11 @@ static STAT_SCREEN_FALLBACKS: AtomicU64 = AtomicU64::new(0);
 
 /// Drain the process-wide [`OracleStats`] counters, resetting them to
 /// zero — call once per run/experiment to report cache effectiveness.
-/// Mirrors the runner's sweep-stats drain.
+/// Mirrors the runner's sweep-stats drain. The static-timing cost
+/// counters live in `ntc-timing` (`take_sta_counters`) and are folded in
+/// here, so one drain covers the whole timing stack.
 pub fn take_oracle_stats() -> OracleStats {
+    let sta = ntc_timing::take_sta_counters();
     OracleStats {
         gate_sims: STAT_GATE_SIMS.swap(0, Ordering::Relaxed),
         local_hits: STAT_LOCAL_HITS.swap(0, Ordering::Relaxed),
@@ -191,6 +211,9 @@ pub fn take_oracle_stats() -> OracleStats {
         screen_hits: STAT_SCREEN_HITS.swap(0, Ordering::Relaxed),
         screen_misses: STAT_SCREEN_MISSES.swap(0, Ordering::Relaxed),
         screen_fallbacks: STAT_SCREEN_FALLBACKS.swap(0, Ordering::Relaxed),
+        sta_full: sta.sta_full,
+        sta_incremental: sta.sta_incremental,
+        incr_gates_touched: sta.incr_gates_touched,
     }
 }
 
@@ -763,6 +786,9 @@ mod tests {
             screen_hits: 7,
             screen_misses: 2,
             screen_fallbacks: 1,
+            sta_full: 3,
+            sta_incremental: 1,
+            incr_gates_touched: 40,
         };
         total += OracleStats {
             gate_sims: 1,
@@ -771,9 +797,13 @@ mod tests {
             screen_hits: 3,
             screen_misses: 0,
             screen_fallbacks: 2,
+            sta_full: 1,
+            sta_incremental: 4,
+            incr_gates_touched: 2,
         };
         // Queries = answered lookups: sims + local + shared + screened.
-        // Misses/fallbacks annotate *how* sims happened, not extra queries.
+        // Misses/fallbacks annotate *how* sims happened, not extra
+        // queries; the STA counters meter the timing stack, not lookups.
         assert_eq!(total.queries(), 23);
         assert_eq!(
             total.fields(),
@@ -784,6 +814,9 @@ mod tests {
                 ("screen_hits", 10),
                 ("screen_misses", 2),
                 ("screen_fallbacks", 3),
+                ("sta_full", 4),
+                ("sta_incremental", 5),
+                ("incr_gates_touched", 42),
             ]
         );
     }

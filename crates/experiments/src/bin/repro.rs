@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! repro [--full] [--jobs N] [--out DIR] [--format text|json]
-//!       [--cache-dir DIR] [--no-cache] [--no-screen] [--resume] [ID ...]
+//!       [--cache-dir DIR] [--no-cache] [--no-screen] [--no-incr]
+//!       [--resume] [ID ...]
 //! ```
 //!
 //! With no IDs, the whole suite runs. `--full` switches to paper-scale
@@ -38,6 +39,14 @@
 //! skips cycles it can prove safe — so the flag exists for A/B timing
 //! comparisons and as a belt-and-braces escape hatch; CI runs the fast
 //! suite both ways and compares every CSV byte-for-byte.
+//!
+//! `--no-incr` (or `NTC_INCR=off`) likewise disables incremental STA
+//! re-timing: every chip of a sweep falls back to a from-scratch
+//! `StaticTiming::analyze` and full screen-table build instead of
+//! delta-propagating from the previous chip of the same topology.
+//! Results are bit-identical either way (the incremental engine
+//! recomputes through the exact same per-gate folds), and CI proves it
+//! with the same byte-for-byte CSV comparison.
 //!
 //! Every run also writes `<out>/manifest.json`: one structured
 //! [`RunRecord`] per experiment (scale, jobs, wall time, sweep busy/wall
@@ -98,6 +107,7 @@ fn run() -> i32 {
             },
             "--no-cache" => no_cache = true,
             "--no-screen" => ntc_experiments::config::set_screen_disabled(true),
+            "--no-incr" => ntc_experiments::config::set_incr_disabled(true),
             "--resume" => resume = true,
             "--jobs" | "-j" => {
                 match args
@@ -142,11 +152,14 @@ fn run() -> i32 {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--full] [--jobs N] [--out DIR] [--format text|json] \
-                     [--cache-dir DIR] [--no-cache] [--no-screen] [--resume] [--list] [ID ...]\n\
+                     [--cache-dir DIR] [--no-cache] [--no-screen] [--no-incr] [--resume] [--list] \
+                     [ID ...]\n\
                      --cache-dir DIR  persistent grid-result cache shared across runs\n\
                      --no-cache       bypass all grid caching (cold run)\n\
                      --no-screen      disable the conservative timing screen (also NTC_SCREEN=off);\n\
                      \u{20}                results are bit-identical, only exact-kernel work changes\n\
+                     --no-incr        disable incremental STA re-timing (also NTC_INCR=off);\n\
+                     \u{20}                results are bit-identical, only static-analysis work changes\n\
                      --resume         skip experiments already passing in <out>/manifest.json\n\
                      exit codes: 0 all good; 1 experiment/CSV/manifest failure; \
                      2 usage error or unknown ID"
@@ -379,6 +392,16 @@ fn describe(r: &RunRecord) -> String {
                 r.oracle.screen_hits, r.oracle.screen_misses, r.oracle.screen_fallbacks
             ));
         }
+    }
+    // Static-timing cost: full analyses vs incremental re-timing passes
+    // (and how much of the netlist the deltas actually touched). The
+    // headline win of the retained engine is visible right here — chips
+    // after the first re-time incrementally instead of fully.
+    if r.oracle.sta_full + r.oracle.sta_incremental > 0 {
+        line.push_str(&format!(
+            ", sta {} full / {} incremental ({} gates touched)",
+            r.oracle.sta_full, r.oracle.sta_incremental, r.oracle.incr_gates_touched
+        ));
     }
     // Grid disk-cache traffic: a warm rerun shows hits where the cold run
     // showed misses + bytes written; corrupt evictions flag artifacts

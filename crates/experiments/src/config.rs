@@ -14,7 +14,7 @@ use ntc_core::tag_delay::{OracleConfig, SharedDelayCache, TagDelayOracle};
 use ntc_netlist::buffer_insertion::insert_hold_buffers;
 use ntc_netlist::generators::alu::Alu;
 use ntc_netlist::Netlist;
-use ntc_timing::{ClockSpec, ScreenBounds, StaticTiming};
+use ntc_timing::{ClockSpec, IncrementalTiming, ScreenBounds, StaticTiming};
 use ntc_varmodel::{ChipSignature, Corner, VariationParams};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -37,6 +37,27 @@ pub fn set_screen_disabled(disabled: bool) {
 pub fn screen_disabled() -> bool {
     SCREEN_DISABLED.load(Ordering::Relaxed)
         || std::env::var("NTC_SCREEN").is_ok_and(|v| v == "off" || v == "0")
+}
+
+/// Process-wide opt-out of incremental STA re-timing: chip blanks fall
+/// back to a from-scratch [`StaticTiming::analyze`] + full
+/// [`ScreenBounds::build`] per chip. Results are bit-identical either
+/// way (the CI `cmp` gate proves it per release); only the static-analysis
+/// cost changes.
+static INCR_DISABLED: AtomicBool = AtomicBool::new(false);
+
+/// Disable (or re-enable) incremental re-timing for every chip built
+/// after this call — the `repro --no-incr` escape hatch. Mirrors
+/// [`set_screen_disabled`].
+pub fn set_incr_disabled(disabled: bool) {
+    INCR_DISABLED.store(disabled, Ordering::Relaxed);
+}
+
+/// True when incremental re-timing is off, via [`set_incr_disabled`] or
+/// the `NTC_INCR=off` (or `0`) environment variable.
+pub fn incr_disabled() -> bool {
+    INCR_DISABLED.load(Ordering::Relaxed)
+        || std::env::var("NTC_INCR").is_ok_and(|v| v == "off" || v == "0")
 }
 
 /// How much work an experiment run does.
@@ -176,6 +197,93 @@ type ChipCell = Arc<OnceLock<Arc<ChipBlank>>>;
 
 static CHIP_BLANKS: OnceLock<Mutex<HashMap<ChipKey, ChipCell>>> = OnceLock::new();
 
+/// Everything that is a pure function of one netlist *topology* — the
+/// per-chip memo key minus the fabrication seed. All chips of a sweep
+/// share the topology, so the netlist variant, its nominal critical
+/// delay, and (crucially) the retained incremental re-timing engine are
+/// hoisted here: chip→chip the engine delta-propagates arrivals and
+/// screen bounds instead of re-analyzing from scratch.
+struct TopoState {
+    netlist: Netlist,
+    /// Nominal (PV-free) critical delay of this netlist variant.
+    nominal_critical_ps: f64,
+    /// Retained arrival + screen state of the most recently re-timed
+    /// chip of this topology. Chips of one topology serialize here;
+    /// different topologies re-time concurrently.
+    engine: Mutex<IncrementalTiming>,
+}
+
+/// Topology memo key: [`ChipKey`] without the seed.
+type TopoKey = (u64, &'static str, bool, u64);
+
+type TopoCell = Arc<OnceLock<Arc<TopoState>>>;
+
+static TOPOLOGIES: OnceLock<Mutex<HashMap<TopoKey, TopoCell>>> = OnceLock::new();
+
+/// Build (once) the netlist variant shared by every chip of a topology,
+/// plus its nominal critical delay. The bare die's nominal critical delay
+/// anchors every clock of the study (buffer padding must not slow the
+/// target clock), so it is computed first even for buffered variants.
+fn build_topology(corner: Corner, buffered: bool, regime: ClockRegime) -> (Netlist, f64) {
+    let alu = Alu::new(ntc_isa::ARCH_WIDTH);
+    let bare_nominal = ChipSignature::nominal(alu.netlist(), corner);
+    let bare_critical_ps =
+        StaticTiming::analyze(alu.netlist(), &bare_nominal).critical_delay_ps(alu.netlist());
+    let netlist = if buffered {
+        // Design-time hold fixing pads every short path up to the
+        // constraint using nominal delays within the setup slack; the
+        // resulting buffer chains dominate the padded paths, which is
+        // precisely what post-silicon choke buffers exploit. Targets are
+        // expressed in the design-time (nominal STC) delay frame.
+        let hold_stc_frame = bare_critical_ps * regime.hold_frac / corner.delay_factor();
+        let setup_stc_frame = bare_critical_ps * 0.72 / corner.delay_factor();
+        let (padded, _, _) = insert_hold_buffers(alu.netlist(), hold_stc_frame, setup_stc_frame);
+        padded
+    } else {
+        alu.into_netlist()
+    };
+    let nominal_critical_ps = if buffered {
+        let nominal = ChipSignature::nominal(&netlist, corner);
+        StaticTiming::analyze(&netlist, &nominal).critical_delay_ps(&netlist)
+    } else {
+        bare_critical_ps
+    };
+    (netlist, nominal_critical_ps)
+}
+
+fn topo_state(corner: Corner, buffered: bool, regime: ClockRegime) -> Arc<TopoState> {
+    let key: TopoKey = (
+        corner.vdd.to_bits(),
+        corner.name,
+        buffered,
+        regime.hold_frac.to_bits(),
+    );
+    let cell = {
+        let mut map = TOPOLOGIES
+            .get_or_init(|| Mutex::new(HashMap::new()))
+            .lock()
+            .expect("topology memo poisoned");
+        map.entry(key).or_default().clone()
+    };
+    cell.get_or_init(|| {
+        let (netlist, nominal_critical_ps) = build_topology(corner, buffered, regime);
+        Arc::new(TopoState {
+            netlist,
+            nominal_critical_ps,
+            engine: Mutex::new(IncrementalTiming::new()),
+        })
+    })
+    .clone()
+}
+
+fn variation_params(corner: Corner) -> VariationParams {
+    if corner.name == "STC" {
+        VariationParams::stc()
+    } else {
+        VariationParams::ntc()
+    }
+}
+
 fn chip_blank(corner: Corner, seed: u64, buffered: bool, regime: ClockRegime) -> Arc<ChipBlank> {
     let key: ChipKey = (
         corner.vdd.to_bits(),
@@ -192,49 +300,33 @@ fn chip_blank(corner: Corner, seed: u64, buffered: bool, regime: ClockRegime) ->
         map.entry(key).or_default().clone()
     };
     cell.get_or_init(|| {
-        let alu = Alu::new(ntc_isa::ARCH_WIDTH);
-        // The bare die's nominal critical delay anchors every clock of the
-        // study (buffer padding must not slow the target clock).
-        let bare_nominal = ChipSignature::nominal(alu.netlist(), corner);
-        let bare_critical_ps = StaticTiming::analyze(alu.netlist(), &bare_nominal)
-            .critical_delay_ps(alu.netlist());
-        let netlist = if buffered {
-            // Design-time hold fixing pads every short path up to the
-            // constraint using nominal delays within the setup slack; the
-            // resulting buffer chains dominate the padded paths, which is
-            // precisely what post-silicon choke buffers exploit. Targets are
-            // expressed in the design-time (nominal STC) delay frame.
-            let hold_stc_frame = bare_critical_ps * regime.hold_frac / corner.delay_factor();
-            let setup_stc_frame = bare_critical_ps * 0.72 / corner.delay_factor();
-            let (padded, _, _) = insert_hold_buffers(alu.netlist(), hold_stc_frame, setup_stc_frame);
-            padded
-        } else {
-            alu.into_netlist()
-        };
-        let params = if corner.name == "STC" {
-            VariationParams::stc()
-        } else {
-            VariationParams::ntc()
-        };
-        let signature = ChipSignature::fabricate(&netlist, corner, params, seed);
+        let topo = topo_state(corner, buffered, regime);
+        let signature =
+            ChipSignature::fabricate(&topo.netlist, corner, variation_params(corner), seed);
         // One static analysis per chip, hoisted here from the per-call
-        // accessors: the nominal critical of *this* netlist variant (what
-        // the oracle reports), the fabricated chip's static critical, and
-        // the screen's slack tables all come from the same memoized pass.
-        let nominal_critical_ps = if buffered {
-            let nominal = ChipSignature::nominal(&netlist, corner);
-            StaticTiming::analyze(&netlist, &nominal).critical_delay_ps(&netlist)
+        // accessors — and for every chip of a topology after the first,
+        // not even that: the retained engine re-times the chip→chip delay
+        // delta, updating arrivals and screen tables in place. Both paths
+        // are bit-identical (the engine recomputes through the exact same
+        // per-gate folds), so `--no-incr` only changes the cost.
+        let (static_critical_ps, screen) = if incr_disabled() {
+            let sta = StaticTiming::analyze(&topo.netlist, &signature);
+            let static_critical_ps = sta.critical_delay_ps(&topo.netlist);
+            let screen = Arc::new(ScreenBounds::build(&topo.netlist, &signature, &sta));
+            (static_critical_ps, screen)
         } else {
-            bare_critical_ps
+            let mut engine = topo.engine.lock().expect("timing engine poisoned");
+            engine.retime(&topo.netlist, &signature);
+            (
+                engine.timing().critical_delay_ps(&topo.netlist),
+                Arc::new(engine.screen_bounds().clone()),
+            )
         };
-        let sta = StaticTiming::analyze(&netlist, &signature);
-        let static_critical_ps = sta.critical_delay_ps(&netlist);
-        let screen = Arc::new(ScreenBounds::build(&netlist, &signature, &sta));
         Arc::new(ChipBlank {
-            netlist,
+            netlist: topo.netlist.clone(),
             signature,
             delays: SharedDelayCache::default(),
-            nominal_critical_ps,
+            nominal_critical_ps: topo.nominal_critical_ps,
             static_critical_ps,
             screen,
         })

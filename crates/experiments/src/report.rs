@@ -27,8 +27,9 @@ use std::time::Duration;
 
 /// Manifest format identifier; bump on breaking shape changes.
 /// (`/2` added the per-record `cache` counters and `resumed` marker;
-/// `/3` added the oracle screen counters.)
-pub const MANIFEST_SCHEMA: &str = "ntc-repro-manifest/3";
+/// `/3` added the oracle screen counters; `/4` the incremental-STA
+/// counters `sta_full` / `sta_incremental` / `incr_gates_touched`.)
+pub const MANIFEST_SCHEMA: &str = "ntc-repro-manifest/4";
 
 /// Telemetry of one experiment run inside a `repro` invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -171,6 +172,9 @@ impl RunRecord {
             screen_hits: u64_of(oracle_obj, "screen_hits")?,
             screen_misses: u64_of(oracle_obj, "screen_misses")?,
             screen_fallbacks: u64_of(oracle_obj, "screen_fallbacks")?,
+            sta_full: u64_of(oracle_obj, "sta_full")?,
+            sta_incremental: u64_of(oracle_obj, "sta_incremental")?,
+            incr_gates_touched: u64_of(oracle_obj, "incr_gates_touched")?,
         };
         let cache_obj = v
             .get("cache")
@@ -804,6 +808,9 @@ mod tests {
                 screen_hits: 25,
                 screen_misses: 4,
                 screen_fallbacks: 2,
+                sta_full: 3,
+                sta_incremental: 5,
+                incr_gates_touched: 1234,
             },
             cache: CacheStats {
                 disk_hits: 1,

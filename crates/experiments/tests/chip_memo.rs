@@ -14,14 +14,16 @@ const BUFFERED_SEED: u64 = 990_002;
 
 #[test]
 fn static_analysis_runs_once_per_chip_blank() {
-    // Bare blank: one nominal pass (anchors the clocks) + one fabricated
-    // pass (static critical + screen tables share it).
+    // Bare blank, first chip of its topology: one nominal pass (hoisted
+    // to the topology memo — it anchors the clocks) + one full seeding
+    // pass of the retained incremental engine. Later chips of the same
+    // topology re-time incrementally (pinned in `incr_retime.rs`).
     let before = analysis_count();
     let oracle = build_oracle(Corner::NTC, BARE_SEED, false, CH3_REGIME);
     assert_eq!(
         analysis_count() - before,
         2,
-        "bare chip blank: nominal + fabricated analysis, nothing more"
+        "bare chip blank: topology anchor + engine seed, nothing more"
     );
 
     // The accessors read the memoized values — zero additional passes.
@@ -36,12 +38,13 @@ fn static_analysis_runs_once_per_chip_blank() {
     let _again = build_oracle(Corner::NTC, BARE_SEED, false, CH3_REGIME);
     assert_eq!(analysis_count() - before, 0, "memoized blank rebuilt STA");
 
-    // Buffered blank: bare-nominal anchor + buffered-nominal + fabricated.
+    // Buffered blank: bare-nominal anchor + buffered-nominal (both
+    // topology-level) + the engine's full seeding pass.
     let before = analysis_count();
     let _buffered = build_oracle(Corner::NTC, BUFFERED_SEED, true, CH3_REGIME);
     assert_eq!(
         analysis_count() - before,
         3,
-        "buffered chip blank: bare anchor + buffered nominal + fabricated"
+        "buffered chip blank: bare anchor + buffered nominal + engine seed"
     );
 }

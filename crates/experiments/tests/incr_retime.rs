@@ -1,0 +1,69 @@
+//! Regression pin for incremental re-timing in the chip memo: an N-chip
+//! sweep over one netlist topology runs exactly **1 full seeding pass and
+//! N−1 incremental re-times** (plus the topology's one nominal anchor) —
+//! the `analysis_count`-style budget that keeps per-chip full STA from
+//! creeping back. Companion to `chip_memo.rs`, which pins the first
+//! chip's budget; this file pins the chips *after* the first.
+//!
+//! Kept as a single test in its own binary: the counters are process-wide
+//! and cumulative, so concurrent test functions would race the deltas.
+
+use ntc_experiments::{build_oracle, CH3_REGIME};
+use ntc_timing::sta::analysis_count;
+use ntc_timing::{retime_count, take_sta_counters};
+use ntc_varmodel::Corner;
+
+// Seeds no other test binary uses (the chip memo is process-wide).
+const SEED_BASE: u64 = 991_001;
+const CHIPS: u64 = 5;
+
+#[test]
+fn n_chip_sweep_runs_one_full_and_n_minus_one_incremental_passes() {
+    // Start from drained telemetry so the assertions below meter only
+    // this sweep.
+    let _ = take_sta_counters();
+    let full_before = analysis_count();
+    let incr_before = retime_count();
+
+    let mut criticals = Vec::new();
+    for seed in SEED_BASE..SEED_BASE + CHIPS {
+        let oracle = build_oracle(Corner::NTC, seed, false, CH3_REGIME);
+        criticals.push(oracle.static_critical_delay_ps());
+    }
+
+    // Full passes: the topology's nominal anchor + the engine's one
+    // seeding pass for the first chip. Every later chip re-times.
+    assert_eq!(
+        analysis_count() - full_before,
+        2,
+        "N-chip sweep: topology anchor + one full engine seed only"
+    );
+    assert_eq!(
+        retime_count() - incr_before,
+        CHIPS - 1,
+        "every chip after the first re-times incrementally"
+    );
+
+    // The same split lands in the drained telemetry that feeds
+    // `OracleStats` and the repro manifest.
+    let sta = take_sta_counters();
+    assert_eq!(sta.sta_full, 2, "telemetry: full passes");
+    assert_eq!(sta.sta_incremental, CHIPS - 1, "telemetry: incremental passes");
+    assert!(
+        sta.incr_gates_touched > 0,
+        "chip→chip deltas must actually propagate"
+    );
+
+    // Sanity: the chips are genuinely different dies, not replays of one
+    // signature — the deltas above were real work.
+    criticals.sort_by(f64::total_cmp);
+    criticals.dedup();
+    assert!(criticals.len() > 1, "distinct seeds give distinct chips");
+
+    // Memoized replay: re-requesting a chip re-times nothing.
+    let full_before = analysis_count();
+    let incr_before = retime_count();
+    let _again = build_oracle(Corner::NTC, SEED_BASE + 1, false, CH3_REGIME);
+    assert_eq!(analysis_count() - full_before, 0, "memoized blank re-analyzed");
+    assert_eq!(retime_count() - incr_before, 0, "memoized blank re-timed");
+}

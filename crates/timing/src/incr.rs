@@ -1,0 +1,641 @@
+//! Incremental static re-timing: retained arrival/bound state plus
+//! delta-propagation, for sweeps where one netlist topology is re-timed
+//! under many per-gate delay assignments (new fabricated chip, a voltage
+//! step, a resized buffer).
+//!
+//! [`StaticTiming::analyze`] is linear, but a chip sweep calls it once
+//! per chip over an identical topology — only the delay signature
+//! differs, and between neighbouring chips most arrivals don't move far
+//! through the levelized DAG before converging. Following OpenSTA's
+//! incremental-timing design, this module keeps the analysis *resident*:
+//!
+//! * [`IncrementalSta`] holds the forward min/max arrival state of the
+//!   currently-loaded signature. [`retime`](IncrementalSta::retime)
+//!   diffs a new signature's per-gate delays against the loaded one,
+//!   seeds a dirty worklist with the changed gates, and repropagates in
+//!   ascending (topological) index order through the netlist's CSR
+//!   fanout index — terminating each ray early as soon as a recomputed
+//!   gate's min/max arrivals are bit-identical to the stored ones.
+//! * [`IncrementalScreen`] maintains the conservative
+//!   [`ScreenBounds`] tables the same way in the reverse direction: a
+//!   delay change at gate `g` can only move the toggle-to-output bounds
+//!   of nets in `g`'s *fan-in* cone, so the refresh seeds `g`'s input
+//!   nets and refolds descending, again stopping where the recomputed
+//!   bounds match the stored bits.
+//! * [`IncrementalTiming`] composes the two behind one
+//!   [`retime`](IncrementalTiming::retime) entry point — what the
+//!   chip-blank memo pool in `ntc-experiments` drives.
+//!
+//! # Bit-identity
+//!
+//! Incremental results are `f64::to_bits`-identical to from-scratch
+//! analysis, not merely close. The argument: the full pass computes each
+//! gate's arrivals by one fixed-order fold over its inputs
+//! (`sta::fold_gate_arrivals`), and the incremental recompute calls *the
+//! same fold* on the same stored state — so by induction along
+//! topological order, a gate whose delay and input arrivals are
+//! unchanged refolds to exactly its stored bits (which is also why
+//! comparing bits is a sound early-termination test, never an
+//! approximation). The reverse tables fold with `f64::max`/`min`, which
+//! select among identically-computed sums, so gather order is
+//! irrelevant and the same induction applies along descending net order.
+//! The differential fuzz suite (`tests/proptest_incr.rs`) pins this for
+//! sparse, dense, uniformly-scaled and single-gate deltas.
+//!
+//! # Counters
+//!
+//! Full analyses ([`StaticTiming::analyze_into`]) and incremental passes
+//! bump process-wide draining counters surfaced as
+//! [`StaCounters`] — `sta_full` / `sta_incremental` /
+//! `incr_gates_touched` — which the delay-oracle stats fold into
+//! `manifest.json`. The cumulative [`retime_count`] mirrors
+//! [`crate::sta::analysis_count`] for budget-pinning regression tests.
+
+use crate::screen::ScreenBounds;
+use crate::sta::StaticTiming;
+use ntc_netlist::Netlist;
+use ntc_varmodel::ChipSignature;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of incremental re-timing passes, cumulative (never
+/// reset) — the [`crate::sta::analysis_count`] analogue for regression
+/// tests that pin how often a sweep re-times incrementally vs. fully.
+static RETIME_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Draining telemetry counters, reset by [`take_sta_counters`].
+static STAT_STA_FULL: AtomicU64 = AtomicU64::new(0);
+static STAT_STA_INCREMENTAL: AtomicU64 = AtomicU64::new(0);
+static STAT_INCR_GATES_TOUCHED: AtomicU64 = AtomicU64::new(0);
+
+/// Total incremental re-timing passes in this process so far (forward
+/// arrival repropagations; screen refreshes ride along with them).
+pub fn retime_count() -> u64 {
+    RETIME_COUNT.load(Ordering::Relaxed)
+}
+
+/// Record one full analysis pass (called by
+/// [`StaticTiming::analyze_into`], so every full analysis in the process
+/// counts, whichever entry point ran it).
+pub(crate) fn note_full_analysis() {
+    STAT_STA_FULL.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Static-timing cost counters since the last [`take_sta_counters`]
+/// call, process-wide. The delay-oracle stats drain fold these into the
+/// run telemetry (`manifest.json`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaCounters {
+    /// Full from-scratch analysis passes ([`StaticTiming::analyze_into`]).
+    pub sta_full: u64,
+    /// Incremental re-timing passes (signature diffs and single-gate
+    /// mutations propagated through a dirty worklist).
+    pub sta_incremental: u64,
+    /// Gates re-folded forward plus nets re-folded in the reverse screen
+    /// tables across those incremental passes — the work an incremental
+    /// pass actually did, to set against a full pass's `netlist.len()`.
+    pub incr_gates_touched: u64,
+}
+
+/// Drain the process-wide [`StaCounters`], resetting them to zero.
+/// Mirrors the delay oracle's stats drain (and is consumed by it).
+pub fn take_sta_counters() -> StaCounters {
+    StaCounters {
+        sta_full: STAT_STA_FULL.swap(0, Ordering::Relaxed),
+        sta_incremental: STAT_STA_INCREMENTAL.swap(0, Ordering::Relaxed),
+        incr_gates_touched: STAT_INCR_GATES_TOUCHED.swap(0, Ordering::Relaxed),
+    }
+}
+
+/// What one [`retime`](IncrementalSta::retime) call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetimeOutcome {
+    /// The engine had no compatible loaded state and ran a full analysis
+    /// instead of a delta pass.
+    pub full: bool,
+    /// Gates whose delay differed from the loaded signature (the dirty
+    /// seeds). Zero for a bit-identical signature — and then nothing
+    /// propagates at all.
+    pub delay_changes: usize,
+    /// Gates/nets actually re-folded by the delta propagation (0 when
+    /// `full`; the full pass touches everything by definition).
+    pub gates_touched: u64,
+}
+
+/// Retained forward min/max arrival state for one netlist topology,
+/// re-timed signature-to-signature by delta propagation.
+///
+/// The engine is bound to a single topology: every `retime` call must
+/// pass the *same* [`Netlist`] the current state was seeded from (the
+/// caller owns that invariant, typically by storing the engine alongside
+/// the netlist it analyzes; a length mismatch re-seeds from scratch).
+#[derive(Debug, Default)]
+pub struct IncrementalSta {
+    /// Per-gate delays of the currently-loaded signature.
+    delays: Vec<f64>,
+    /// Arrival state of the currently-loaded signature.
+    sta: StaticTiming,
+    /// Dirty worklist: one pending bit per gate plus a live count,
+    /// drained by a single ascending index sweep (gate indices are
+    /// topological, and dirtying flows strictly upward through the
+    /// fanout lists, so an ordered scan visits every pending gate after
+    /// its inputs are final — no priority queue needed). Packed as a
+    /// bitset so the sweep skips converged stretches 64 gates per
+    /// branch: a sparse cone far from the seeds costs word tests, not
+    /// per-gate flag tests, and pushing costs an OR instead of a heap
+    /// rebalance. Retained across calls — steady-state re-timing
+    /// allocates nothing.
+    pending: Vec<u64>,
+    remaining: usize,
+    /// Seeds of the last delta pass: the gates whose delay changed. The
+    /// reverse screen refresh starts from exactly these.
+    changed: Vec<u32>,
+    /// The seeds' *previous* delays, parallel to `changed` — the reverse
+    /// refresh prices each seed's old fold candidates with these to
+    /// decide which input nets actually need a refold.
+    changed_old: Vec<f64>,
+    /// Scratch for the diff's phase 1: indices of 16-wide chunks holding
+    /// at least one mismatched delay. Retained so steady-state re-timing
+    /// allocates nothing.
+    dirty_chunks: Vec<u32>,
+    loaded: bool,
+}
+
+impl IncrementalSta {
+    /// An empty engine; the first [`retime`](Self::retime) (or an
+    /// explicit [`load_full`](Self::load_full)) seeds it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether arrival state is loaded (i.e. [`timing`](Self::timing) is
+    /// meaningful).
+    pub fn is_loaded(&self) -> bool {
+        self.loaded
+    }
+
+    /// The arrival analysis of the currently-loaded signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been loaded yet.
+    pub fn timing(&self) -> &StaticTiming {
+        assert!(self.loaded, "no signature loaded");
+        &self.sta
+    }
+
+    /// The per-gate delays of the currently-loaded signature.
+    pub fn loaded_delays(&self) -> &[f64] {
+        &self.delays
+    }
+
+    /// Gates whose delay changed in the last delta pass (empty after a
+    /// full load) — the seed set a reverse consumer (the screen refresh)
+    /// propagates from.
+    pub fn delay_changes(&self) -> &[u32] {
+        &self.changed
+    }
+
+    /// The previous delays of [`delay_changes`](Self::delay_changes),
+    /// parallel by position — what a reverse consumer prices each seed's
+    /// *old* fold candidates with.
+    pub fn previous_delays(&self) -> &[f64] {
+        &self.changed_old
+    }
+
+    /// Seed (or re-seed) the engine with a full analysis of `sig`,
+    /// reusing the retained buffers.
+    pub fn load_full(&mut self, nl: &Netlist, sig: &ChipSignature) {
+        self.sta.analyze_into(nl, sig); // asserts the length match
+        self.delays.clear();
+        self.delays.extend_from_slice(sig.delays_ps());
+        self.pending.clear();
+        self.pending.resize(nl.len().div_ceil(64), 0);
+        self.remaining = 0;
+        self.changed.clear();
+        self.changed_old.clear();
+        self.loaded = true;
+    }
+
+    /// Re-time the loaded topology under a new signature: diff per-gate
+    /// delays, propagate the changes through the fanout cones, stop each
+    /// ray where recomputed arrivals are bit-identical to the stored
+    /// ones. Falls back to [`load_full`](Self::load_full) when no
+    /// compatible state is loaded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signature length does not match the netlist.
+    pub fn retime(&mut self, nl: &Netlist, sig: &ChipSignature) -> RetimeOutcome {
+        assert_eq!(
+            sig.delays_ps().len(),
+            nl.len(),
+            "signature/netlist mismatch"
+        );
+        if !self.loaded || self.delays.len() != nl.len() {
+            self.load_full(nl, sig);
+            return RetimeOutcome {
+                full: true,
+                delay_changes: 0,
+                gates_touched: 0,
+            };
+        }
+        // Diff the delay vectors and seed the worklist, in two phases.
+        // Phase 1: an XOR-accumulate scan over 16-wide chunks — pure
+        // bit-casts and ORs over two sequential slices, so it vectorizes
+        // — records which chunks hold any mismatch. Phase 2 gives only
+        // those chunks per-element treatment: compare bits, update the
+        // loaded vector in place (no wholesale copy; a near-identical
+        // signature writes almost nothing), seed. Pseudo gates (primary
+        // inputs, constants) carry no delay into any fold —
+        // `analyze_into` skips them and they feed no fanout gather — so
+        // only logic-gate changes seed. The loaded vector still records
+        // every slot, keeping future diffs exact.
+        self.changed.clear();
+        self.changed_old.clear();
+        self.dirty_chunks.clear();
+        let new = sig.delays_ps();
+        let gates = nl.gates();
+        let mut scan_from = usize::MAX;
+        let n = self.delays.len();
+        const CHUNK: usize = 16;
+        for (c, (ca, cb)) in self
+            .delays
+            .chunks_exact(CHUNK)
+            .zip(new.chunks_exact(CHUNK))
+            .enumerate()
+        {
+            let mut any = 0u64;
+            for (a, b) in ca.iter().zip(cb) {
+                any |= a.to_bits() ^ b.to_bits();
+            }
+            if any != 0 {
+                self.dirty_chunks.push(c as u32);
+            }
+        }
+        let mut seed = |i: usize, cur: f64, delays: &mut [f64]| {
+            let prev = delays[i];
+            if prev.to_bits() != cur.to_bits() {
+                delays[i] = cur;
+                if !gates[i].kind().is_pseudo() {
+                    self.changed.push(i as u32);
+                    self.changed_old.push(prev);
+                    self.pending[i >> 6] |= 1 << (i & 63);
+                    self.remaining += 1;
+                    scan_from = scan_from.min(i);
+                }
+            }
+        };
+        for &c in &self.dirty_chunks {
+            let start = c as usize * CHUNK;
+            for (k, &cur) in new[start..start + CHUNK].iter().enumerate() {
+                seed(start + k, cur, &mut self.delays);
+            }
+        }
+        for (k, &cur) in new.iter().enumerate().skip(n - n % CHUNK) {
+            seed(k, cur, &mut self.delays);
+        }
+        let touched = self.propagate(nl, scan_from);
+        RETIME_COUNT.fetch_add(1, Ordering::Relaxed);
+        STAT_STA_INCREMENTAL.fetch_add(1, Ordering::Relaxed);
+        STAT_INCR_GATES_TOUCHED.fetch_add(touched, Ordering::Relaxed);
+        RetimeOutcome {
+            full: false,
+            delay_changes: self.changed.len(),
+            gates_touched: touched,
+        }
+    }
+
+    /// Mutate a single gate's delay in place and re-time only its fanout
+    /// cone — the hook adaptive schemes use to resize a buffer (see
+    /// `InsertedBuffers::gate_indices` in `ntc-netlist`) mid-run without
+    /// a full re-analysis. The loaded delay vector is updated, so
+    /// subsequent [`retime`](Self::retime) diffs stay exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is loaded, the index is out of range, or the
+    /// gate is a pseudo-cell (its delay enters no arrival fold).
+    pub fn retime_gate(&mut self, nl: &Netlist, gate: usize, delay_ps: f64) -> RetimeOutcome {
+        assert!(self.loaded, "no signature loaded");
+        assert_eq!(self.delays.len(), nl.len(), "engine bound to another netlist");
+        assert!(
+            !nl.gates()[gate].kind().is_pseudo(),
+            "pseudo-cells carry no delay"
+        );
+        self.changed.clear();
+        self.changed_old.clear();
+        let touched = if self.delays[gate].to_bits() != delay_ps.to_bits() {
+            self.changed.push(gate as u32);
+            self.changed_old.push(self.delays[gate]);
+            self.delays[gate] = delay_ps;
+            self.pending[gate >> 6] |= 1 << (gate & 63);
+            self.remaining += 1;
+            self.propagate(nl, gate)
+        } else {
+            0
+        };
+        RETIME_COUNT.fetch_add(1, Ordering::Relaxed);
+        STAT_STA_INCREMENTAL.fetch_add(1, Ordering::Relaxed);
+        STAT_INCR_GATES_TOUCHED.fetch_add(touched, Ordering::Relaxed);
+        RetimeOutcome {
+            full: false,
+            delay_changes: self.changed.len(),
+            gates_touched: touched,
+        }
+    }
+
+    /// Drain the dirty worklist by one ascending index sweep starting at
+    /// the lowest seed. Gate indices are topological, so when the sweep
+    /// reaches a pending gate every input is final — and a processed
+    /// gate can never be re-dirtied (dirtying flows strictly upward in
+    /// index through the fanout lists, always ahead of the sweep; within
+    /// a word, always above the lowest set bit). The live pending count
+    /// ends the sweep right after the last dirty gate, so a converged
+    /// cone costs nothing past its frontier.
+    fn propagate(&mut self, nl: &Netlist, scan_from: usize) -> u64 {
+        let mut touched = 0u64;
+        let gates = nl.gates();
+        let mut w = scan_from >> 6;
+        while self.remaining > 0 {
+            let word = self.pending[w];
+            if word == 0 {
+                w += 1;
+                continue;
+            }
+            let i = (w << 6) | word.trailing_zeros() as usize;
+            self.pending[w] = word & (word - 1); // clear the lowest set bit
+            self.remaining -= 1;
+            touched += 1;
+            let (lo, hi) = self.sta.refold_gate(&gates[i], self.delays[i]);
+            let stale = self.sta.min_arrival(i).to_bits() != lo.to_bits()
+                || self.sta.max_arrival(i).to_bits() != hi.to_bits();
+            if stale {
+                self.sta.set_arrivals(i, lo, hi);
+                for &t in nl.fanout_of_index(i) {
+                    let t = t as usize;
+                    let m = 1u64 << (t & 63);
+                    if self.pending[t >> 6] & m == 0 {
+                        self.pending[t >> 6] |= m;
+                        self.remaining += 1;
+                    }
+                }
+            }
+        }
+        touched
+    }
+}
+
+/// Retained [`ScreenBounds`] tables for one topology, refreshed by
+/// reverse delta propagation: a delay change at gate `g` can only move
+/// the toggle-to-output bounds of `g`'s fan-in cone, so the refresh
+/// seeds `g`'s input nets and refolds in descending (reverse
+/// topological) net order, stopping where recomputed bounds match the
+/// stored bits.
+#[derive(Debug, Default)]
+pub struct IncrementalScreen {
+    bounds: Option<ScreenBounds>,
+    /// Reverse dirty worklist: one pending bit per net plus a live
+    /// count, drained by a single *descending* bitset sweep so every net
+    /// refolds after its entire fanout is final (dirtying flows strictly
+    /// downward — a net's refold can only re-seed the driving gate's
+    /// input nets, all below it). Mirror image of the forward sweep in
+    /// [`IncrementalSta`].
+    pending: Vec<u64>,
+    remaining: usize,
+}
+
+impl IncrementalScreen {
+    /// An empty holder; [`rebuild`](Self::rebuild) seeds it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build the tables from scratch (first chip of a topology, or after
+    /// a full re-seed of the forward engine).
+    pub fn rebuild(&mut self, nl: &Netlist, sig: &ChipSignature, sta: &StaticTiming) {
+        self.bounds = Some(ScreenBounds::build(nl, sig, sta));
+        self.pending.clear();
+        self.pending.resize(nl.len().div_ceil(64), 0);
+        self.remaining = 0;
+    }
+
+    /// The current tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been built yet.
+    pub fn bounds(&self) -> &ScreenBounds {
+        self.bounds.as_ref().expect("no screen tables built")
+    }
+
+    /// Refresh the tables after the forward engine re-timed: `delays` is
+    /// the newly-loaded per-gate delay vector
+    /// ([`IncrementalSta::loaded_delays`]), `seeds` the gates whose delay
+    /// changed ([`IncrementalSta::delay_changes`]) with their previous
+    /// delays in `old_delays` ([`IncrementalSta::previous_delays`],
+    /// parallel by position), `sta` the *updated* arrival analysis (its
+    /// critical delay re-anchors the tables' cross-check). Only cones
+    /// containing a dirty gate re-fold, and within those only nets whose
+    /// stored extreme a changed fold candidate can actually move — an
+    /// edge from gate `g` into net `k` is re-priced only if its old
+    /// candidate *realized* `k`'s min or max (it may drop out) or its new
+    /// candidate beats it (it takes over). The candidate arithmetic
+    /// reproduces the build's bit-for-bit, so the pruned refolds are
+    /// provably identical refolds, skipped. Returns the number of nets
+    /// refolded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no tables have been built yet
+    /// ([`rebuild`](Self::rebuild) first), or if the refreshed tables
+    /// fail their STA cross-check (which would mean the dirty set was
+    /// incomplete — a bug, not an input error).
+    pub fn refresh(
+        &mut self,
+        nl: &Netlist,
+        delays: &[f64],
+        sta: &StaticTiming,
+        seeds: &[u32],
+        old_delays: &[f64],
+    ) -> u64 {
+        debug_assert_eq!(seeds.len(), old_delays.len());
+        let bounds = self.bounds.as_mut().expect("no screen tables built");
+        let gates = nl.gates();
+        // An edge from gate g into input net k carries the fold candidate
+        // `to_out[g] + d_g`; net k needs a refold only if that candidate
+        // moved in a way that can change k's stored extreme. Both sides
+        // of each test recompute the candidate with the same add the
+        // build used, so equality against the stored extreme is exact.
+        let push = |pending: &mut [u64], remaining: &mut usize, k: usize| {
+            let m = 1u64 << (k & 63);
+            if pending[k >> 6] & m == 0 {
+                pending[k >> 6] |= m;
+                *remaining += 1;
+            }
+        };
+        // A delay change at gate g re-prices g's edges only; g's own
+        // bounds don't depend on d_g. Gates with no path to an output
+        // contribute no candidates, before or after.
+        let mut scan_from = 0usize;
+        for (&g, &d_old) in seeds.iter().zip(old_delays) {
+            let g = g as usize;
+            let (gl, gh) = bounds.net_bounds(g);
+            if gh == f64::NEG_INFINITY {
+                continue;
+            }
+            let d_new = delays[g];
+            for s in gates[g].inputs() {
+                let k = s.index();
+                let (klo, khi) = bounds.net_bounds(k);
+                if gh + d_old == khi
+                    || gh + d_new > khi
+                    || gl + d_old == klo
+                    || gl + d_new < klo
+                {
+                    push(&mut self.pending, &mut self.remaining, k);
+                    scan_from = scan_from.max(k);
+                }
+            }
+        }
+        let mut refolded = 0u64;
+        let mut w = scan_from >> 6;
+        while self.remaining > 0 {
+            let word = self.pending[w];
+            if word == 0 {
+                w -= 1;
+                continue;
+            }
+            let b = 63 - word.leading_zeros() as usize;
+            let j = (w << 6) | b;
+            self.pending[w] = word & !(1u64 << b); // clear the highest set bit
+            self.remaining -= 1;
+            refolded += 1;
+            let (lo, hi) = bounds.fold_net(nl, delays, j);
+            let (old_lo, old_hi) = bounds.net_bounds(j);
+            let stale =
+                old_lo.to_bits() != lo.to_bits() || old_hi.to_bits() != hi.to_bits();
+            if stale {
+                bounds.set_net(j, lo, hi);
+                // Net j's new bound re-prices the edges of the gate
+                // driving j (pseudo drivers — primary inputs — have no
+                // inputs, ending the ray). The descending sweep pops j
+                // after its whole fanout, so (old_lo, old_hi) → (lo, hi)
+                // is j's one and only move this refresh; each edge test
+                // below covers it completely against the target net's
+                // still-pre-refresh extremes.
+                let dj = delays[j];
+                for s in gates[j].inputs() {
+                    let k = s.index();
+                    let (klo, khi) = bounds.net_bounds(k);
+                    if old_hi + dj == khi
+                        || hi + dj > khi
+                        || old_lo + dj == klo
+                        || lo + dj < klo
+                    {
+                        push(&mut self.pending, &mut self.remaining, k);
+                    }
+                }
+            }
+        }
+        bounds.set_static_critical_ps(sta.critical_delay_ps(nl));
+        bounds.check_against_critical();
+        STAT_INCR_GATES_TOUCHED.fetch_add(refolded, Ordering::Relaxed);
+        refolded
+    }
+}
+
+/// The composed retained engine: forward arrivals plus reverse screen
+/// tables, re-timed together — the unit the chip-blank memo pool in
+/// `ntc-experiments` keeps per netlist topology.
+#[derive(Debug, Default)]
+pub struct IncrementalTiming {
+    sta: IncrementalSta,
+    screen: IncrementalScreen,
+}
+
+impl IncrementalTiming {
+    /// An empty engine; the first [`retime`](Self::retime) seeds it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-time `sig` on this topology: delta-propagate the forward
+    /// arrivals, then refresh the screen tables from the same diff. The
+    /// first call (or a topology change) seeds both from scratch.
+    ///
+    /// A diff that re-delayed most of the die (a chip swap, a voltage
+    /// step — every gate moves) is not a delta: refolding net by net
+    /// with per-edge re-pricing costs several times the flat
+    /// descending-order table build, so past a quarter of the gates the
+    /// screen spills to [`IncrementalScreen::rebuild`]. The build is
+    /// itself one canonical per-net fold per net, so the outcome counts
+    /// all `n` nets as touched — same units as the refresh.
+    pub fn retime(&mut self, nl: &Netlist, sig: &ChipSignature) -> RetimeOutcome {
+        let mut out = self.sta.retime(nl, sig);
+        let dirty_heavy = self.sta.delay_changes().len() * 4 > nl.len();
+        if out.full || self.screen.bounds.is_none() || dirty_heavy {
+            self.screen.rebuild(nl, sig, self.sta.timing());
+            if !out.full {
+                let n = nl.len() as u64;
+                out.gates_touched += n;
+                STAT_INCR_GATES_TOUCHED.fetch_add(n, Ordering::Relaxed);
+            }
+        } else {
+            out.gates_touched += self.screen.refresh(
+                nl,
+                self.sta.loaded_delays(),
+                self.sta.timing(),
+                self.sta.delay_changes(),
+                self.sta.previous_delays(),
+            );
+        }
+        out
+    }
+
+    /// Single-gate mutation: re-time gate `gate` to `delay_ps` and
+    /// refresh both directions from that one seed — the adaptive-scheme
+    /// hook (resized buffers, in-situ slowdown injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing is loaded yet (seed with
+    /// [`retime`](Self::retime) first) — a point mutation needs a base
+    /// signature to mutate.
+    pub fn retime_gate(&mut self, nl: &Netlist, gate: usize, delay_ps: f64) -> RetimeOutcome {
+        let mut out = self.sta.retime_gate(nl, gate, delay_ps);
+        // The loaded delay vector *is* the mutated signature's delays, so
+        // the screen refresh reads straight from it — no `ChipSignature`
+        // round-trip for a point mutation.
+        out.gates_touched += self.screen.refresh(
+            nl,
+            self.sta.loaded_delays(),
+            self.sta.timing(),
+            self.sta.delay_changes(),
+            self.sta.previous_delays(),
+        );
+        out
+    }
+
+    /// The arrival analysis of the currently-loaded signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been loaded yet.
+    pub fn timing(&self) -> &StaticTiming {
+        self.sta.timing()
+    }
+
+    /// The screen tables of the currently-loaded signature.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been loaded yet.
+    pub fn screen_bounds(&self) -> &ScreenBounds {
+        self.screen.bounds()
+    }
+
+    /// The forward engine (loaded delays, diff seeds).
+    pub fn sta(&self) -> &IncrementalSta {
+        &self.sta
+    }
+}

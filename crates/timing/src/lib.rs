@@ -6,6 +6,9 @@
 //!
 //! * [`sta`] — static min/max arrival analysis and critical-path extraction
 //!   under a per-chip delay signature;
+//! * [`incr`] — retained incremental re-timing: delta-propagation of
+//!   arrival state and screen bounds across chips / operating points,
+//!   bit-identical to from-scratch analysis;
 //! * [`dynamic`] — glitch-aware two-vector (initializing + sensitizing)
 //!   timing simulation producing per-output transition waveforms;
 //! * [`screen`] — conservative per-cycle screening (toggled-input cone
@@ -46,6 +49,7 @@
 pub mod choke;
 pub mod dynamic;
 pub mod errors;
+pub mod incr;
 pub mod paths;
 #[cfg(test)]
 mod reference;
@@ -59,6 +63,10 @@ pub use dynamic::{
 pub use errors::{
     classify_cycle, classify_stream, illegal_transition_count, ClockSpec, CycleViolation,
     ErrorClass,
+};
+pub use incr::{
+    retime_count, take_sta_counters, IncrementalScreen, IncrementalSta, IncrementalTiming,
+    RetimeOutcome, StaCounters,
 };
 pub use paths::{k_critical_paths, RankedPath, SlackReport};
 pub use screen::{ScreenBounds, ScreenVerdict, ScreenedSim, SCREEN_GUARD_PS};

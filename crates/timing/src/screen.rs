@@ -59,11 +59,16 @@ pub const SCREEN_GUARD_PS: f64 = 1e-6;
 /// to that chip.
 #[derive(Debug, Clone)]
 pub struct ScreenBounds {
-    /// `to_out_max[n]`: longest delay from a toggle at net `n` to any
-    /// primary output; `-inf` when no output is reachable from `n`.
-    to_out_max: Vec<f64>,
-    /// `to_out_min[n]`: shortest such delay; `+inf` when unreachable.
-    to_out_min: Vec<f64>,
+    /// `to_out[n] = (min, max)`: shortest and longest delay from a toggle
+    /// at net `n` to any primary output; `(+inf, -inf)` when no output is
+    /// reachable from `n`. Min and max interleave so one fanout visit in
+    /// [`fold_net`](Self::fold_net) touches one cache line, not two — the
+    /// incremental refresh ([`crate::incr`]) gathers these at random net
+    /// indices, where the extra line is a real miss.
+    to_out: Vec<(f64, f64)>,
+    /// Whether net `n` is a primary output — the seed of its own fold
+    /// (a toggle at an output is already *at* an output, delay `0.0`).
+    is_output: Vec<bool>,
     /// Net index of each primary input, in port order (the order of the
     /// kernel's `initializing`/`sensitizing` vectors).
     inputs: Vec<u32>,
@@ -75,9 +80,18 @@ impl ScreenBounds {
     /// Build the bound tables for `nl` under delay signature `sig`.
     ///
     /// `sta` must be the [`StaticTiming`] analysis of the same
-    /// `(nl, sig)` pair; it is used to cross-check the tables (the
+    /// `(nl, sig)` pair; the tables fold their cross-check against *its*
+    /// critical delay rather than re-deriving arrivals of their own (the
     /// longest toggle-to-output delay over all primary inputs must equal
-    /// the static critical delay) and to seed diagnostics.
+    /// the static critical delay).
+    ///
+    /// Each net's bounds come from one descending-order **gather** over
+    /// the netlist's CSR fanout index — the same per-net fold the
+    /// incremental engine ([`crate::incr`]) replays on dirty cones, so a
+    /// refreshed table is bit-for-bit a rebuilt one. (The gather visits
+    /// the identical candidate set the historical input-scatter formulation
+    /// produced; `f64::max`/`min` select among identical sums, so the
+    /// stored bits are unchanged.)
     ///
     /// # Panics
     ///
@@ -86,61 +100,104 @@ impl ScreenBounds {
     pub fn build(nl: &Netlist, sig: &ChipSignature, sta: &StaticTiming) -> Self {
         assert_eq!(sig.delays_ps().len(), nl.len(), "signature/netlist mismatch");
         let n = nl.len();
-        let mut to_out_max = vec![f64::NEG_INFINITY; n];
-        let mut to_out_min = vec![f64::INFINITY; n];
+        let mut bounds = ScreenBounds {
+            to_out: vec![(f64::INFINITY, f64::NEG_INFINITY); n],
+            is_output: vec![false; n],
+            inputs: nl.inputs().iter().map(|s| s.index() as u32).collect(),
+            static_critical_ps: sta.critical_delay_ps(nl),
+        };
         for s in nl.outputs() {
-            to_out_max[s.index()] = 0.0;
-            to_out_min[s.index()] = 0.0;
+            bounds.is_output[s.index()] = true;
         }
-        // Gates are stored in topological order by ascending index, so one
-        // descending pass relaxes every gate after its entire fanout.
-        for (i, gate) in nl.gates().iter().enumerate().rev() {
-            if gate.kind().is_pseudo() {
-                continue;
-            }
-            let hi = to_out_max[i];
-            if hi == f64::NEG_INFINITY {
-                continue; // no output reachable from this gate
-            }
-            let lo = to_out_min[i];
-            // A toggle at input `s` that propagates through this gate
-            // reaches the outputs this gate reaches, delayed by the gate's
-            // own delay — mirroring the forward convention of `sta.rs`
-            // (primary inputs are pseudo gates and contribute no delay;
-            // a path's delay includes the output gate's).
-            let d = sig.delay_ps(i);
-            for s in gate.inputs() {
-                let j = s.index();
-                to_out_max[j] = to_out_max[j].max(hi + d);
-                to_out_min[j] = to_out_min[j].min(lo + d);
-            }
+        // Nets are in topological order by ascending index, so one
+        // descending pass folds every net after its entire fanout is final.
+        for j in (0..n).rev() {
+            let (lo, hi) = bounds.fold_net(nl, sig.delays_ps(), j);
+            bounds.to_out[j] = (lo, hi);
         }
-        let inputs: Vec<u32> = nl.inputs().iter().map(|s| s.index() as u32).collect();
-        let static_critical_ps = sta.critical_delay_ps(nl);
-        let table_critical = inputs
+        bounds.check_against_critical();
+        bounds
+    }
+
+    /// Gather one net's toggle-to-output bounds from the *current* table
+    /// state of its fanout gates: a toggle at net `j` that propagates
+    /// through fanout gate `g` reaches the outputs `g` reaches, delayed by
+    /// `g`'s own delay — mirroring the forward convention of `sta.rs`
+    /// (primary inputs are pseudo gates and contribute no delay; a path's
+    /// delay includes the output gate's). Output nets seed at `0.0` (a
+    /// toggle there *is* at an output).
+    ///
+    /// This is the one canonical per-net fold: [`build`](Self::build)
+    /// calls it for every net, the incremental refresh only for dirty
+    /// ones — identical fanout state folds to identical bits.
+    #[inline]
+    pub(crate) fn fold_net(&self, nl: &Netlist, delays: &[f64], j: usize) -> (f64, f64) {
+        let (mut lo, mut hi) = if self.is_output[j] {
+            (0.0f64, 0.0f64)
+        } else {
+            (f64::INFINITY, f64::NEG_INFINITY)
+        };
+        for &g in nl.fanout_of_index(j) {
+            let (gl, gh) = self.to_out[g as usize];
+            if gh == f64::NEG_INFINITY {
+                continue; // no output reachable through this fanout gate
+            }
+            let d = delays[g as usize];
+            hi = hi.max(gh + d);
+            lo = lo.min(gl + d);
+        }
+        (lo, hi)
+    }
+
+    /// Store one net's bounds (incremental-refresh write access).
+    #[inline]
+    pub(crate) fn set_net(&mut self, j: usize, lo: f64, hi: f64) {
+        self.to_out[j] = (lo, hi);
+    }
+
+    /// The `(min, max)` toggle-to-output bound of net `j` — `(+inf, -inf)`
+    /// when no output is reachable from `j`. The incremental refresh's
+    /// convergence test reads this, and the differential suite compares
+    /// refreshed tables against rebuilt ones through it.
+    #[inline]
+    pub fn net_bounds(&self, j: usize) -> (f64, f64) {
+        self.to_out[j]
+    }
+
+    /// Replace the cached static critical delay (the incremental refresh
+    /// re-derives it from the updated [`StaticTiming`]).
+    pub(crate) fn set_static_critical_ps(&mut self, ps: f64) {
+        self.static_critical_ps = ps;
+    }
+
+    /// Cross-check the tables against the recorded static critical delay:
+    /// the longest toggle-to-output bound over the primary inputs must
+    /// equal it. Called after every full build *and* incremental refresh.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the tables and the static analysis disagree.
+    pub(crate) fn check_against_critical(&self) {
+        let table_critical = self
+            .inputs
             .iter()
-            .map(|&i| to_out_max[i as usize])
+            .map(|&i| self.to_out[i as usize].1)
             .fold(f64::NEG_INFINITY, f64::max);
         assert!(
-            (table_critical - static_critical_ps).abs() <= SCREEN_GUARD_PS,
-            "screen bound tables disagree with STA: {table_critical} vs {static_critical_ps}"
+            (table_critical - self.static_critical_ps).abs() <= SCREEN_GUARD_PS,
+            "screen bound tables disagree with STA: {table_critical} vs {}",
+            self.static_critical_ps
         );
-        ScreenBounds {
-            to_out_max,
-            to_out_min,
-            inputs,
-            static_critical_ps,
-        }
     }
 
     /// Number of nets the tables were built for (= `netlist.len()`).
     pub fn len(&self) -> usize {
-        self.to_out_max.len()
+        self.to_out.len()
     }
 
     /// True for a degenerate netlist with no nets.
     pub fn is_empty(&self) -> bool {
-        self.to_out_max.is_empty()
+        self.to_out.is_empty()
     }
 
     /// The chip's static critical delay the tables were checked against.
@@ -166,9 +223,9 @@ impl ScreenBounds {
         // (initializing) value.
         for (k, &net) in self.inputs.iter().enumerate() {
             if init[k] != sens[k] {
-                let net = net as usize;
-                hi = hi.max(self.to_out_max[net]);
-                lo = lo.min(self.to_out_min[net]);
+                let (l, h) = self.to_out[net as usize];
+                hi = hi.max(h);
+                lo = lo.min(l);
             }
         }
         (hi != f64::NEG_INFINITY).then_some((lo, hi))
@@ -199,14 +256,12 @@ impl ScreenBounds {
     #[doc(hidden)]
     pub fn corrupted_for_tests(mut self, factor: f64) -> Self {
         assert!((0.0..1.0).contains(&factor));
-        for v in &mut self.to_out_max {
-            if v.is_finite() {
-                *v *= factor;
+        for (lo, hi) in &mut self.to_out {
+            if hi.is_finite() {
+                *hi *= factor;
             }
-        }
-        for v in &mut self.to_out_min {
-            if v.is_finite() {
-                *v /= factor;
+            if lo.is_finite() {
+                *lo /= factor;
             }
         }
         self

@@ -21,13 +21,23 @@ pub fn analysis_count() -> u64 {
 
 /// Static arrival times for every signal of a netlist under one chip's
 /// delay signature.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct StaticTiming {
     max_arrival: Vec<f64>,
     min_arrival: Vec<f64>,
 }
 
 impl StaticTiming {
+    /// An empty analysis holding no arrival state — a target for
+    /// [`analyze_into`](Self::analyze_into) when the caller retains the
+    /// buffers across chips (the incremental engine, the chip memo pool).
+    pub fn with_capacity(n: usize) -> Self {
+        StaticTiming {
+            max_arrival: Vec::with_capacity(n),
+            min_arrival: Vec::with_capacity(n),
+        }
+    }
+
     /// Run static min/max arrival analysis.
     ///
     /// # Panics
@@ -35,33 +45,61 @@ impl StaticTiming {
     /// Panics if the signature was fabricated for a different netlist
     /// (length mismatch).
     pub fn analyze(nl: &Netlist, sig: &ChipSignature) -> Self {
+        let mut t = StaticTiming::with_capacity(nl.len());
+        t.analyze_into(nl, sig);
+        t
+    }
+
+    /// Run a full analysis *into* this instance, reusing its arrival
+    /// buffers — no per-chip allocations once the buffers have grown to
+    /// the netlist's size. [`analyze`](Self::analyze) routes through this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signature was fabricated for a different netlist
+    /// (length mismatch).
+    pub fn analyze_into(&mut self, nl: &Netlist, sig: &ChipSignature) {
         assert_eq!(
             sig.delays_ps().len(),
             nl.len(),
             "signature/netlist mismatch"
         );
         ANALYSIS_COUNT.fetch_add(1, Ordering::Relaxed);
+        crate::incr::note_full_analysis();
         let n = nl.len();
-        let mut max_arrival = vec![0.0f64; n];
-        let mut min_arrival = vec![0.0f64; n];
+        self.max_arrival.clear();
+        self.max_arrival.resize(n, 0.0);
+        self.min_arrival.clear();
+        self.min_arrival.resize(n, 0.0);
         for (i, gate) in nl.gates().iter().enumerate() {
             if gate.kind().is_pseudo() {
                 continue;
             }
+            let (lo, hi) = fold_gate_arrivals(gate, &self.min_arrival, &self.max_arrival);
             let d = sig.delay_ps(i);
-            let mut lo = f64::INFINITY;
-            let mut hi = 0.0f64;
-            for s in gate.inputs() {
-                lo = lo.min(min_arrival[s.index()]);
-                hi = hi.max(max_arrival[s.index()]);
-            }
-            min_arrival[i] = lo + d;
-            max_arrival[i] = hi + d;
+            self.min_arrival[i] = lo + d;
+            self.max_arrival[i] = hi + d;
         }
-        StaticTiming {
-            max_arrival,
-            min_arrival,
-        }
+    }
+
+    /// Re-fold one gate's arrivals from the current state of this
+    /// analysis — *exactly* the fold [`analyze_into`](Self::analyze_into)
+    /// performs for that gate, so a recompute from unchanged inputs is
+    /// bit-for-bit the stored value. This is the primitive the
+    /// incremental engine's dirty worklist is built on.
+    ///
+    /// Returns the `(min, max)` arrival the gate takes under delay `d`.
+    #[inline]
+    pub(crate) fn refold_gate(&self, gate: &ntc_netlist::Gate, d: f64) -> (f64, f64) {
+        let (lo, hi) = fold_gate_arrivals(gate, &self.min_arrival, &self.max_arrival);
+        (lo + d, hi + d)
+    }
+
+    /// Store the arrivals of one gate (incremental-engine write access).
+    #[inline]
+    pub(crate) fn set_arrivals(&mut self, idx: usize, min_ps: f64, max_ps: f64) {
+        self.min_arrival[idx] = min_ps;
+        self.max_arrival[idx] = max_ps;
     }
 
     /// Latest possible arrival at signal index `idx`, ps.
@@ -121,6 +159,26 @@ impl StaticTiming {
             signals: chain,
         }
     }
+}
+
+/// The one canonical per-gate arrival fold: min/max over the gate's
+/// inputs *in pin order*. Both the full pass and the incremental
+/// recompute go through this function, which is what makes an
+/// incremental result provably bit-identical to a from-scratch one —
+/// identical inputs fold to identical bits.
+#[inline]
+fn fold_gate_arrivals(
+    gate: &ntc_netlist::Gate,
+    min_arrival: &[f64],
+    max_arrival: &[f64],
+) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = 0.0f64;
+    for s in gate.inputs() {
+        lo = lo.min(min_arrival[s.index()]);
+        hi = hi.max(max_arrival[s.index()]);
+    }
+    (lo, hi)
 }
 
 /// A timing path: an input-to-output chain of signals and its total delay.

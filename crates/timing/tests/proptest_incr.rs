@@ -1,0 +1,161 @@
+//! Differential fuzz for the incremental re-timing engine: for random
+//! base signatures and random delta chains, the retained engine's state
+//! must be `to_bits`-identical — arrivals and screen tables both — to a
+//! from-scratch analysis of the same signature. Not close: identical.
+//! This is the property that lets the chip memo pool swap `analyze` for
+//! `retime` without moving a single golden CSV byte.
+//!
+//! Seeded deterministic sweeps ([`SplitMix64`]), same idiom as
+//! `proptest_timing.rs`: zero registry dependencies, every failure
+//! reproduces exactly.
+
+use ntc_netlist::buffer_insertion::insert_hold_buffers;
+use ntc_netlist::generators::alu::Alu;
+use ntc_netlist::Netlist;
+use ntc_timing::{IncrementalTiming, ScreenBounds, StaticTiming};
+use ntc_varmodel::rng::SplitMix64;
+use ntc_varmodel::{ChipSignature, Corner, VariationParams};
+
+fn logic_gates(nl: &Netlist) -> Vec<usize> {
+    nl.gates()
+        .iter()
+        .enumerate()
+        .filter(|(_, g)| !g.kind().is_pseudo())
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Assert the engine's full state — forward arrivals, reverse screen
+/// tables, critical anchors — is bit-identical to from-scratch analysis.
+fn assert_state_matches_full(
+    nl: &Netlist,
+    sig: &ChipSignature,
+    engine: &IncrementalTiming,
+    ctx: &str,
+) {
+    let full = StaticTiming::analyze(nl, sig);
+    let t = engine.timing();
+    for i in 0..nl.len() {
+        assert_eq!(
+            t.min_arrival(i).to_bits(),
+            full.min_arrival(i).to_bits(),
+            "{ctx}: min arrival of net {i}"
+        );
+        assert_eq!(
+            t.max_arrival(i).to_bits(),
+            full.max_arrival(i).to_bits(),
+            "{ctx}: max arrival of net {i}"
+        );
+    }
+    let rebuilt = ScreenBounds::build(nl, sig, &full);
+    let refreshed = engine.screen_bounds();
+    assert_eq!(
+        refreshed.static_critical_ps().to_bits(),
+        rebuilt.static_critical_ps().to_bits(),
+        "{ctx}: screen critical anchor"
+    );
+    for j in 0..nl.len() {
+        let (rlo, rhi) = refreshed.net_bounds(j);
+        let (flo, fhi) = rebuilt.net_bounds(j);
+        assert_eq!(rlo.to_bits(), flo.to_bits(), "{ctx}: min bound of net {j}");
+        assert_eq!(rhi.to_bits(), fhi.to_bits(), "{ctx}: max bound of net {j}");
+    }
+}
+
+/// The core differential: chains of sparse, dense, voltage-style-uniform
+/// and single-gate deltas, each step re-timed incrementally and compared
+/// bit-for-bit against a from-scratch analysis.
+#[test]
+fn incremental_retime_is_bit_identical_to_full_analysis() {
+    let alu = Alu::new(8);
+    let nl = alu.netlist();
+    let logic = logic_gates(nl);
+    let mut rng = SplitMix64::seed_from_u64(0x14C0_0001);
+    for case in 0..12 {
+        let seed = rng.gen_u64() % 1000;
+        let mut sig = ChipSignature::fabricate(nl, Corner::NTC, VariationParams::ntc(), seed);
+        let mut engine = IncrementalTiming::new();
+        let out = engine.retime(nl, &sig);
+        assert!(out.full, "case {case}: first retime seeds fully");
+        assert_state_matches_full(nl, &sig, &engine, &format!("case {case} seed"));
+        for step in 0..6 {
+            match step % 4 {
+                // Sparse: a handful of random logic gates slowed/sped.
+                0 => {
+                    let k = 1 + rng.gen_index(8);
+                    let gates: Vec<usize> =
+                        (0..k).map(|_| logic[rng.gen_index(logic.len())]).collect();
+                    let m = 0.5 + (rng.gen_u64() % 1500) as f64 / 1000.0;
+                    sig.inject_choke(&gates, m);
+                }
+                // Dense: a different fabrication draw — every gate moves.
+                1 => {
+                    sig = ChipSignature::fabricate(
+                        nl,
+                        Corner::NTC,
+                        VariationParams::ntc(),
+                        rng.gen_u64() % 1000,
+                    );
+                }
+                // Voltage-style: one uniform multiplier across the die.
+                2 => {
+                    let m = 0.8 + (rng.gen_u64() % 400) as f64 / 1000.0;
+                    sig.inject_choke(&logic, m);
+                }
+                // Single gate: the buffer-resize shape.
+                _ => {
+                    let g = logic[rng.gen_index(logic.len())];
+                    sig.inject_choke(&[g], 3.0);
+                }
+            }
+            let out = engine.retime(nl, &sig);
+            assert!(!out.full, "case {case} step {step}: delta must stay incremental");
+            assert_state_matches_full(nl, &sig, &engine, &format!("case {case} step {step}"));
+        }
+    }
+}
+
+/// A re-time against the already-loaded signature is a no-op: zero dirty
+/// seeds, zero propagation, state untouched.
+#[test]
+fn identical_signature_retimes_for_free() {
+    let alu = Alu::new(8);
+    let nl = alu.netlist();
+    let sig = ChipSignature::fabricate(nl, Corner::NTC, VariationParams::ntc(), 77);
+    let mut engine = IncrementalTiming::new();
+    engine.retime(nl, &sig);
+    let again = engine.retime(nl, &sig);
+    assert!(!again.full);
+    assert_eq!(again.delay_changes, 0, "no delay moved");
+    assert_eq!(again.gates_touched, 0, "nothing propagated");
+    assert_state_matches_full(nl, &sig, &engine, "no-op retime");
+}
+
+/// The `retime_gate` hook (the adaptive buffer-resize path): mutate the
+/// delay of individual inserted hold buffers on the padded netlist and
+/// check the point re-time is bit-identical to full analysis of the
+/// equivalently mutated signature.
+#[test]
+fn retime_gate_matches_full_analysis_on_buffered_netlist() {
+    let alu = Alu::new(8);
+    // Pad short paths the way the experiment stack does, and take the
+    // inserted-buffer index list from the `gate_indices` hook.
+    let (padded, buffers, _) = insert_hold_buffers(alu.netlist(), 120.0, 4000.0);
+    let buffer_gates: Vec<usize> = buffers.gate_indices().collect();
+    assert!(!buffer_gates.is_empty(), "fixture must insert buffers");
+    let mut sig = ChipSignature::fabricate(&padded, Corner::NTC, VariationParams::ntc(), 5);
+    let mut engine = IncrementalTiming::new();
+    engine.retime(&padded, &sig);
+    let mut rng = SplitMix64::seed_from_u64(0x14C0_0002);
+    for step in 0..8 {
+        let g = buffer_gates[rng.gen_index(buffer_gates.len())];
+        let m = 0.5 + (rng.gen_u64() % 3000) as f64 / 1000.0;
+        // Mirror the mutation on a reference signature, then hand the
+        // engine only the resulting absolute delay.
+        sig.inject_choke(&[g], m);
+        let out = engine.retime_gate(&padded, g, sig.delay_ps(g));
+        assert!(!out.full, "step {step}");
+        assert!(out.delay_changes <= 1, "step {step}: at most the one gate");
+        assert_state_matches_full(&padded, &sig, &engine, &format!("retime_gate step {step}"));
+    }
+}

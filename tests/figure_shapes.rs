@@ -82,7 +82,10 @@ fn manifest_shape_is_golden() {
             "shared_hits",
             "screen_hits",
             "screen_misses",
-            "screen_fallbacks"
+            "screen_fallbacks",
+            "sta_full",
+            "sta_incremental",
+            "incr_gates_touched"
         ],
         "oracle counter shape"
     );
