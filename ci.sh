@@ -138,6 +138,62 @@ fi
 grep -q '"resumed":true,' target/repro-ci-resume/manifest.json
 grep -q '"failed":0,' target/repro-ci-resume/manifest.json
 
+echo "==> ntc-serve: concurrent clients, batch-identical CSVs, disk hit, clean SIGTERM"
+# Daemon on a temp unix socket, sharing a fresh cache dir. Two concurrent
+# scripted clients request the same experiment the grid-cache gate ran
+# above; both CSVs must be byte-identical to the batch golden, and the
+# --hold-ms window makes the second request coalesce onto (or memo-hit
+# behind) the first — never a second compute.
+rm -rf target/serve-ci
+mkdir -p target/serve-ci
+serve_sock=target/serve-ci/daemon.sock
+./target/release/ntc-serve serve --socket "$serve_sock" \
+  --cache-dir target/serve-ci/cache --jobs 2 --hold-ms 300 \
+  2> target/serve-ci/daemon.log &
+serve_pid=$!
+for _ in $(seq 1 100); do [ -S "$serve_sock" ] && break; sleep 0.1; done
+test -S "$serve_sock"
+./target/release/ntc-serve request --socket "$serve_sock" \
+  --experiment fig3.8 --out target/serve-ci/c1.csv \
+  > target/serve-ci/r1.json &
+c1_pid=$!
+./target/release/ntc-serve request --socket "$serve_sock" \
+  --experiment fig3.8 --out target/serve-ci/c2.csv \
+  > target/serve-ci/r2.json
+wait "$c1_pid"
+cmp target/repro-ci-cold/fig3_8.csv target/serve-ci/c1.csv
+cmp target/repro-ci-cold/fig3_8.csv target/serve-ci/c2.csv
+# Exactly one compute across the pair; the other receipt shows a
+# coalesced or cache hit (receipts are schema-tagged, fixed key order).
+grep -q '"schema":"ntc-serve-receipt/1"' target/serve-ci/r1.json
+grep -q '"schema":"ntc-serve-receipt/1"' target/serve-ci/r2.json
+test "$(cat target/serve-ci/r1.json target/serve-ci/r2.json \
+  | grep -c '"tier":"computed"')" = 1
+cat target/serve-ci/r1.json target/serve-ci/r2.json \
+  | grep -Eq '"tier":"(coalesced|memo|disk)"'
+# Restart on the same cache dir: a fresh process must answer the same
+# request from the disk tier.
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+test ! -e "$serve_sock"
+./target/release/ntc-serve serve --socket "$serve_sock" \
+  --cache-dir target/serve-ci/cache --jobs 2 \
+  2>> target/serve-ci/daemon.log &
+serve_pid=$!
+for _ in $(seq 1 100); do [ -S "$serve_sock" ] && break; sleep 0.1; done
+./target/release/ntc-serve request --socket "$serve_sock" \
+  --experiment fig3.8 --out target/serve-ci/c3.csv \
+  > target/serve-ci/r3.json
+cmp target/repro-ci-cold/fig3_8.csv target/serve-ci/c3.csv
+grep -q '"tier":"disk"' target/serve-ci/r3.json
+# Clean SIGTERM shutdown: exit 0, socket unlinked, no quarantine files.
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+test ! -e "$serve_sock"
+if ls target/serve-ci/cache/*.corrupt >/dev/null 2>&1; then
+  echo "FAIL: shutdown left quarantine files behind"; exit 1
+fi
+
 echo "==> repro exit-code semantics (unknown id => 2, CSV failure => 1)"
 if ./target/release/repro --fast fig3.4 fgi3.10 >/dev/null 2>&1; then
   echo "FAIL: misspelled experiment id must exit nonzero"; exit 1

@@ -207,7 +207,12 @@ fn two_percent_choke_signature(
         .collect();
     let mut by_mult = logic.clone();
     by_mult.sort_by(|&a, &b| fabricated.multiplier(b).total_cmp(&fabricated.multiplier(a)));
-    let tail = (logic.len() as f64 * 0.01).ceil() as usize;
+    // Clamp the tail so the two slices can never overlap: on a
+    // degenerate netlist (one logic gate, or none at all) `ceil` still
+    // yields 1, and overlapping tails would keep the same gate twice —
+    // injecting its multiplier twice (squared). Unchanged for any
+    // netlist with ≥ 2 logic gates.
+    let tail = ((logic.len() as f64 * 0.01).ceil() as usize).min(logic.len() / 2);
     let kept: Vec<usize> = by_mult[..tail] // slowest 1 %
         .iter()
         .chain(by_mult[by_mult.len() - tail..].iter()) // fastest 1 %
@@ -492,4 +497,51 @@ pub fn overheads_4() -> ResultTable {
         ],
     );
     t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntc_netlist::Builder;
+
+    /// Regression: degenerate netlists (no logic gates, or a single one)
+    /// used to make the 1 % tails of [`two_percent_choke_signature`]
+    /// overlap — the lone gate was kept twice, so its multiplier was
+    /// injected twice (squared). The clamped tail must fall back to the
+    /// nominal signature instead of panicking or double-injecting.
+    #[test]
+    fn choke_signature_handles_degenerate_netlists() {
+        // All-I/O netlist: one primary input wired straight to an output,
+        // zero logic gates.
+        let mut b = Builder::new();
+        let a = b.input("a");
+        b.output("y", a);
+        let nl = b.finish();
+        let sig = two_percent_choke_signature(&nl, Corner::NTC, VariationParams::ntc(), 7);
+        let nominal = ChipSignature::nominal(&nl, Corner::NTC);
+        for i in 0..nl.len() {
+            assert_eq!(
+                sig.delay_ps(i).to_bits(),
+                nominal.delay_ps(i).to_bits(),
+                "all-I/O netlist keeps no choke gates (net {i})"
+            );
+        }
+
+        // Single logic gate: both 1 % tails would round up to the same
+        // gate; the clamp keeps neither rather than keeping it twice.
+        let mut b = Builder::new();
+        let a = b.input("a");
+        let g = b.not(a);
+        b.output("y", g);
+        let nl = b.finish();
+        let sig = two_percent_choke_signature(&nl, Corner::NTC, VariationParams::ntc(), 7);
+        let nominal = ChipSignature::nominal(&nl, Corner::NTC);
+        for i in 0..nl.len() {
+            assert_eq!(
+                sig.delay_ps(i).to_bits(),
+                nominal.delay_ps(i).to_bits(),
+                "single-gate netlist keeps no choke gates (net {i})"
+            );
+        }
+    }
 }

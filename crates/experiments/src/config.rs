@@ -317,10 +317,17 @@ fn chip_blank(corner: Corner, seed: u64, buffered: bool, regime: ClockRegime) ->
         } else {
             let mut engine = topo.engine.lock().expect("timing engine poisoned");
             engine.retime(&topo.netlist, &signature);
-            (
-                engine.timing().critical_delay_ps(&topo.netlist),
-                Arc::new(engine.screen_bounds().clone()),
-            )
+            let screen = match engine.screen_bounds() {
+                Some(b) => Arc::new(b.clone()),
+                // `retime` always seeds the tables; this arm is the
+                // recoverable fallback should that invariant ever move.
+                None => Arc::new(ScreenBounds::build(
+                    &topo.netlist,
+                    &signature,
+                    engine.timing(),
+                )),
+            };
+            (engine.timing().critical_delay_ps(&topo.netlist), screen)
         };
         Arc::new(ChipBlank {
             netlist: topo.netlist.clone(),

@@ -48,7 +48,10 @@ pub use runner::{
     set_jobs, sweep, sweep_catching, sweep_over, take_stats, take_sweep_failures, IndexFailure,
     SweepStats,
 };
-pub use scenario::{run_grid, run_grid_uncached, screen_run_order, GridResult, GridSpec, Regime};
+pub use scenario::{
+    run_grid, run_grid_traced, run_grid_uncached, screen_run_order, GridResult, GridSpec,
+    GridTier, Regime,
+};
 pub use table::ResultTable;
 
 /// One named experiment: its figure/table id and scale-parametric runner.

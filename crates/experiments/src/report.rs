@@ -430,7 +430,10 @@ pub fn table_to_json(t: &ResultTable) -> String {
 /// Render an `f64` as a JSON number (`null` for NaN/±∞, which JSON cannot
 /// represent). Rust's `Display` for finite `f64` is shortest-round-trip
 /// decimal without exponents — always a valid JSON number.
-fn json_f64(v: f64) -> String {
+///
+/// Public: the serve protocol emits its receipts with the same encoder
+/// the manifests use, so the two stay byte-compatible.
+pub fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -439,14 +442,14 @@ fn json_f64(v: f64) -> String {
 }
 
 /// Append `"key":"escaped value"`.
-fn push_key_str(out: &mut String, key: &str, value: &str) {
+pub fn push_key_str(out: &mut String, key: &str, value: &str) {
     push_json_str(out, key);
     out.push(':');
     push_json_str(out, value);
 }
 
 /// Append a JSON string literal with RFC 8259 escaping.
-fn push_json_str(out: &mut String, s: &str) {
+pub fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

@@ -62,6 +62,16 @@ impl Regime {
             Regime::Ch4 => "ch4",
         }
     }
+
+    /// Inverse of [`name`](Self::name) — how wire formats (the serve
+    /// protocol) name a regime.
+    pub fn parse(s: &str) -> Option<Regime> {
+        match s {
+            "ch3" => Some(Regime::Ch3),
+            "ch4" => Some(Regime::Ch4),
+            _ => None,
+        }
+    }
 }
 
 /// Complete description of one (benchmarks × chips × schemes) comparison
@@ -301,6 +311,33 @@ pub fn run_grid_uncached(spec: &GridSpec) -> GridResult {
 /// while the memo can no longer grow without limit across a long run.
 pub const GRID_MEMO_CAP: usize = 8;
 
+/// Which tier answered a [`run_grid_traced`] call — the provenance a
+/// serving layer reports back to its client in the per-request receipt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GridTier {
+    /// In-memory LRU hit (same process already folded this grid).
+    Memo,
+    /// On-disk artifact hit (a previous process folded it).
+    Disk,
+    /// Cold: the cells were swept and folded by this call.
+    Computed,
+    /// Caching disabled ([`cache::set_disabled`]): computed, nothing
+    /// consulted or written.
+    Uncached,
+}
+
+impl GridTier {
+    /// Stable wire name (receipt JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            GridTier::Memo => "memo",
+            GridTier::Disk => "disk",
+            GridTier::Computed => "computed",
+            GridTier::Uncached => "uncached",
+        }
+    }
+}
+
 /// Run a grid through the cache tiers: bounded in-memory LRU first (same
 /// process — figures charting different columns of one grid share one
 /// sweep and one `Arc`), then the on-disk artifact cache when a
@@ -311,14 +348,20 @@ pub const GRID_MEMO_CAP: usize = 8;
 /// Disk artifacts store exact bit patterns, so a hit from either tier is
 /// bit-identical to a cold run at any `--jobs` count.
 pub fn run_grid(spec: &GridSpec) -> Arc<GridResult> {
+    run_grid_traced(spec).0
+}
+
+/// [`run_grid`], also reporting which tier answered. The batch drivers
+/// ignore the tier; the serve daemon threads it into request receipts.
+pub fn run_grid_traced(spec: &GridSpec) -> (Arc<GridResult>, GridTier) {
     type Memo = Mutex<MemoLru<GridSpec, Arc<GridResult>>>;
     static MEMO: OnceLock<Memo> = OnceLock::new();
     if cache::disabled() {
-        return Arc::new(run_grid_uncached(spec));
+        return (Arc::new(run_grid_uncached(spec)), GridTier::Uncached);
     }
     let memo = MEMO.get_or_init(|| Mutex::new(MemoLru::new(GRID_MEMO_CAP)));
     if let Some(hit) = memo.lock().expect("grid memo poisoned").get(spec) {
-        return hit;
+        return (hit, GridTier::Memo);
     }
     let disk = cache::disk_dir();
     if let Some(dir) = &disk {
@@ -327,7 +370,7 @@ pub fn run_grid(spec: &GridSpec) -> Arc<GridResult> {
             memo.lock()
                 .expect("grid memo poisoned")
                 .insert(spec.clone(), result.clone());
-            return result;
+            return (result, GridTier::Disk);
         }
     }
     let result = Arc::new(run_grid_uncached(spec));
@@ -342,7 +385,7 @@ pub fn run_grid(spec: &GridSpec) -> Arc<GridResult> {
     memo.lock()
         .expect("grid memo poisoned")
         .insert(spec.clone(), result.clone());
-    result
+    (result, GridTier::Computed)
 }
 
 #[cfg(test)]

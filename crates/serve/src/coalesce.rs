@@ -1,0 +1,246 @@
+//! In-flight request coalescing: N concurrent requests for the same job
+//! key share one compute.
+//!
+//! The first requester of a key becomes the *leader* and computes; every
+//! later requester arriving while the flight is open becomes a *joiner*
+//! and blocks until the leader publishes. Publication removes the key
+//! from the map first, so a request arriving after the result exists
+//! starts a fresh flight — which then hits the warm cache tier instead
+//! of recomputing. The joiner count is exact: joiners register under the
+//! map lock, and the leader reads the count only after taking that lock
+//! to unpublish the key, so no joiner can slip in uncounted.
+//!
+//! The map is generic over the published value so it can be unit-tested
+//! without dragging in the compute path.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// State of one open flight.
+#[derive(Debug)]
+struct FlightState<T> {
+    /// Requests that joined this flight after its leader (excludes the
+    /// leader itself).
+    joiners: u64,
+    /// `Some(outcome)` once the leader published. The inner `None` means
+    /// the leader abandoned the flight (panicked or was refused
+    /// admission) — joiners must fail their requests too rather than
+    /// hang or elect a new leader mid-wait.
+    outcome: Option<Option<Arc<T>>>,
+}
+
+/// One in-flight computation: joiners park on the condvar until the
+/// leader publishes.
+#[derive(Debug)]
+pub struct Flight<T> {
+    state: Mutex<FlightState<T>>,
+    cv: Condvar,
+}
+
+impl<T> Flight<T> {
+    /// Block until the leader publishes; returns the outcome (`None` if
+    /// the leader abandoned the flight) and the total joiner count of
+    /// the flight.
+    pub fn wait(&self) -> (Option<Arc<T>>, u64) {
+        let mut s = self.state.lock().expect("flight state poisoned");
+        while s.outcome.is_none() {
+            s = self.cv.wait(s).expect("flight state poisoned");
+        }
+        (s.outcome.clone().expect("just checked Some"), s.joiners)
+    }
+
+    /// Joiners registered so far (test hook: lets a gating test wait
+    /// until all joiners have piled on before publishing).
+    pub fn joiners(&self) -> u64 {
+        self.state.lock().expect("flight state poisoned").joiners
+    }
+}
+
+/// What [`FlightMap::join_or_lead`] made of this request.
+#[derive(Debug)]
+pub enum Role<'a, T> {
+    /// First requester of the key: compute, then
+    /// [`publish`](LeaderToken::publish).
+    Leader(LeaderToken<'a, T>),
+    /// A flight for the key is already open: [`wait`](Flight::wait) on
+    /// it.
+    Joiner(Arc<Flight<T>>),
+}
+
+/// The leader's obligation to publish. Dropping the token without
+/// publishing abandons the flight (joiners observe `None`), so a
+/// panicking compute can never strand its joiners.
+#[derive(Debug)]
+pub struct LeaderToken<'a, T> {
+    map: &'a FlightMap<T>,
+    key: String,
+    flight: Arc<Flight<T>>,
+    published: bool,
+}
+
+impl<T> LeaderToken<'_, T> {
+    /// Publish the computed value to every joiner and close the flight.
+    /// Returns how many joiners shared this compute.
+    pub fn publish(mut self, value: Arc<T>) -> u64 {
+        self.published = true;
+        self.close(Some(value))
+    }
+
+    /// The flight this token leads (test hook, see
+    /// [`Flight::joiners`]).
+    pub fn flight(&self) -> &Arc<Flight<T>> {
+        &self.flight
+    }
+
+    fn close(&mut self, outcome: Option<Arc<T>>) -> u64 {
+        // Unpublish the key first: after this, new requests start a
+        // fresh flight. Joiners that already hold the Arc registered
+        // under the same map lock, so the count read below is exact.
+        self.map
+            .inner
+            .lock()
+            .expect("flight map poisoned")
+            .remove(&self.key);
+        let mut s = self.flight.state.lock().expect("flight state poisoned");
+        s.outcome = Some(outcome);
+        let joiners = s.joiners;
+        drop(s);
+        self.flight.cv.notify_all();
+        joiners
+    }
+}
+
+impl<T> Drop for LeaderToken<'_, T> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.close(None);
+        }
+    }
+}
+
+/// The open-flight registry, keyed by job key (the grid cache key, or
+/// `exp:<id>:<scale>` for experiment requests).
+#[derive(Debug)]
+pub struct FlightMap<T> {
+    inner: Mutex<HashMap<String, Arc<Flight<T>>>>,
+}
+
+impl<T> Default for FlightMap<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> FlightMap<T> {
+    /// An empty registry.
+    pub fn new() -> Self {
+        FlightMap {
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Join the open flight for `key`, or open one and lead it.
+    pub fn join_or_lead(&self, key: &str) -> Role<'_, T> {
+        let mut map = self.inner.lock().expect("flight map poisoned");
+        if let Some(flight) = map.get(key) {
+            let flight = flight.clone();
+            // Register while still holding the map lock — the leader's
+            // close() takes the same lock before reading the count.
+            flight.state.lock().expect("flight state poisoned").joiners += 1;
+            return Role::Joiner(flight);
+        }
+        let flight = Arc::new(Flight {
+            state: Mutex::new(FlightState {
+                joiners: 0,
+                outcome: None,
+            }),
+            cv: Condvar::new(),
+        });
+        map.insert(key.to_string(), flight.clone());
+        Role::Leader(LeaderToken {
+            map: self,
+            key: key.to_string(),
+            flight,
+            published: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Fully deterministic coalescing: the leader is gated until every
+    /// joiner has registered, so the published count and each joiner's
+    /// view are exact — no timing window involved.
+    #[test]
+    fn joiners_share_one_publish_and_count_each_other() {
+        let map = Arc::new(FlightMap::<u64>::new());
+        let leader = match map.join_or_lead("k") {
+            Role::Leader(t) => t,
+            Role::Joiner(_) => panic!("first requester must lead"),
+        };
+
+        const JOINERS: usize = 4;
+        let mut handles = Vec::new();
+        for _ in 0..JOINERS {
+            let map = map.clone();
+            handles.push(std::thread::spawn(move || {
+                match map.join_or_lead("k") {
+                    Role::Leader(_) => panic!("flight already open"),
+                    Role::Joiner(f) => f.wait(),
+                }
+            }));
+        }
+        // Gate: publish only after all joiners are parked on the flight.
+        while leader.flight().joiners() < JOINERS as u64 {
+            std::thread::yield_now();
+        }
+        assert_eq!(leader.publish(Arc::new(42)), JOINERS as u64);
+
+        for h in handles {
+            let (out, joiners) = h.join().expect("joiner thread");
+            assert_eq!(*out.expect("published value"), 42);
+            assert_eq!(joiners, JOINERS as u64);
+        }
+
+        // The key is unpublished: the next requester leads a new flight.
+        assert!(matches!(map.join_or_lead("k"), Role::Leader(_)));
+    }
+
+    #[test]
+    fn abandoned_leader_fails_joiners_instead_of_stranding_them() {
+        let map = Arc::new(FlightMap::<u64>::new());
+        let leader = match map.join_or_lead("k") {
+            Role::Leader(t) => t,
+            Role::Joiner(_) => panic!("first requester must lead"),
+        };
+        let map2 = map.clone();
+        let joiner = std::thread::spawn(move || match map2.join_or_lead("k") {
+            Role::Leader(_) => panic!("flight already open"),
+            Role::Joiner(f) => f.wait(),
+        });
+        while leader.flight().joiners() < 1 {
+            std::thread::yield_now();
+        }
+        drop(leader); // no publish: abandoned
+        let (out, _) = joiner.join().expect("joiner thread");
+        assert!(out.is_none(), "abandonment propagates as a failure");
+        assert!(matches!(map.join_or_lead("k"), Role::Leader(_)));
+    }
+
+    #[test]
+    fn distinct_keys_fly_independently() {
+        let map = FlightMap::<u64>::new();
+        let a = match map.join_or_lead("a") {
+            Role::Leader(t) => t,
+            Role::Joiner(_) => panic!(),
+        };
+        let b = match map.join_or_lead("b") {
+            Role::Leader(t) => t,
+            Role::Joiner(_) => panic!("different key must not coalesce"),
+        };
+        assert_eq!(a.publish(Arc::new(1)), 0);
+        assert_eq!(b.publish(Arc::new(2)), 0);
+    }
+}

@@ -419,13 +419,12 @@ impl IncrementalScreen {
         self.remaining = 0;
     }
 
-    /// The current tables.
-    ///
-    /// # Panics
-    ///
-    /// Panics if nothing has been built yet.
-    pub fn bounds(&self) -> &ScreenBounds {
-        self.bounds.as_ref().expect("no screen tables built")
+    /// The current tables, or `None` before the first
+    /// [`rebuild`](Self::rebuild)/[`refresh`](Self::refresh). Recoverable
+    /// by design: a long-lived server must be able to probe the engine's
+    /// state without risking an abort on request ordering.
+    pub fn bounds(&self) -> Option<&ScreenBounds> {
+        self.bounds.as_ref()
     }
 
     /// Refresh the tables after the forward engine re-timed: `delays` is
@@ -444,12 +443,17 @@ impl IncrementalScreen {
     /// provably identical refolds, skipped. Returns the number of nets
     /// refolded.
     ///
+    /// Called before any tables exist (refresh-before-build — e.g. a
+    /// server request re-timing a freshly memoized topology out of
+    /// order), it builds them on demand from `delays` instead of
+    /// aborting: the build *is* the refresh in that state, touching all
+    /// `n` nets.
+    ///
     /// # Panics
     ///
-    /// Panics if no tables have been built yet
-    /// ([`rebuild`](Self::rebuild) first), or if the refreshed tables
-    /// fail their STA cross-check (which would mean the dirty set was
-    /// incomplete — a bug, not an input error).
+    /// Panics if the refreshed tables fail their STA cross-check (which
+    /// would mean the dirty set was incomplete — a bug, not an input
+    /// error).
     pub fn refresh(
         &mut self,
         nl: &Netlist,
@@ -459,7 +463,20 @@ impl IncrementalScreen {
         old_delays: &[f64],
     ) -> u64 {
         debug_assert_eq!(seeds.len(), old_delays.len());
-        let bounds = self.bounds.as_mut().expect("no screen tables built");
+        if self.bounds.is_none() {
+            // Build on demand: there is no stored state to delta against,
+            // so the flat build is both the cheapest and the only sound
+            // answer. Recoverable replacement for the historical
+            // `expect("no screen tables built")` abort.
+            self.bounds = Some(ScreenBounds::build_from_delays(nl, delays, sta));
+            self.pending.clear();
+            self.pending.resize(nl.len().div_ceil(64), 0);
+            self.remaining = 0;
+            let n = nl.len() as u64;
+            STAT_INCR_GATES_TOUCHED.fetch_add(n, Ordering::Relaxed);
+            return n;
+        }
+        let bounds = self.bounds.as_mut().expect("just checked Some");
         let gates = nl.gates();
         // An edge from gate g into input net k carries the fold candidate
         // `to_out[g] + d_g`; net k needs a refold only if that candidate
@@ -625,17 +642,67 @@ impl IncrementalTiming {
         self.sta.timing()
     }
 
-    /// The screen tables of the currently-loaded signature.
-    ///
-    /// # Panics
-    ///
-    /// Panics if nothing has been loaded yet.
-    pub fn screen_bounds(&self) -> &ScreenBounds {
+    /// The screen tables of the currently-loaded signature, or `None`
+    /// before the first [`retime`](Self::retime). Recoverable by design
+    /// (no abort on request ordering): callers that need tables
+    /// unconditionally can fall back to a flat
+    /// [`ScreenBounds::build`].
+    pub fn screen_bounds(&self) -> Option<&ScreenBounds> {
         self.screen.bounds()
     }
 
     /// The forward engine (loaded delays, diff seeds).
     pub fn sta(&self) -> &IncrementalSta {
         &self.sta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntc_netlist::generators::alu::Alu;
+    use ntc_varmodel::{Corner, VariationParams};
+
+    /// Regression: `refresh` before any `rebuild` used to abort with
+    /// `expect("no screen tables built")`; it must now build on demand,
+    /// bit-identical to the flat build.
+    #[test]
+    fn refresh_before_rebuild_builds_on_demand() {
+        let alu = Alu::new(8);
+        let nl = alu.netlist();
+        let sig = ChipSignature::fabricate(nl, Corner::NTC, VariationParams::ntc(), 11);
+        let sta = StaticTiming::analyze(nl, &sig);
+
+        let mut screen = IncrementalScreen::new();
+        assert!(screen.bounds().is_none(), "fresh engine holds no tables");
+        let touched = screen.refresh(nl, sig.delays_ps(), &sta, &[], &[]);
+        assert_eq!(touched, nl.len() as u64, "on-demand build touches every net");
+
+        let flat = ScreenBounds::build(nl, &sig, &sta);
+        let built = screen.bounds().expect("tables exist after on-demand build");
+        for j in 0..nl.len() {
+            let (al, ah) = built.net_bounds(j);
+            let (bl, bh) = flat.net_bounds(j);
+            assert_eq!(al.to_bits(), bl.to_bits(), "net {j} lo");
+            assert_eq!(ah.to_bits(), bh.to_bits(), "net {j} hi");
+        }
+
+        // A second refresh with an empty seed set is now a real delta
+        // pass over the retained tables: nothing dirty, nothing folded.
+        assert_eq!(screen.refresh(nl, sig.delays_ps(), &sta, &[], &[]), 0);
+    }
+
+    /// The composed engine reports its screen tables recoverably: `None`
+    /// before the first retime, `Some` after.
+    #[test]
+    fn screen_bounds_is_none_until_retimed() {
+        let alu = Alu::new(8);
+        let nl = alu.netlist();
+        let mut engine = IncrementalTiming::new();
+        assert!(engine.screen_bounds().is_none());
+        let sig = ChipSignature::fabricate(nl, Corner::NTC, VariationParams::ntc(), 3);
+        let out = engine.retime(nl, &sig);
+        assert!(out.full);
+        assert!(engine.screen_bounds().is_some());
     }
 }

@@ -102,7 +102,9 @@ pub fn k_critical_paths(nl: &Netlist, sig: &ChipSignature, k: usize) -> Vec<Rank
     }
     impl PartialEq for Partial {
         fn eq(&self, other: &Self) -> bool {
-            self.score == other.score
+            // Consistent with the `total_cmp` ordering below (plain `==`
+            // would disagree with `Ord` on NaN scores).
+            self.score.total_cmp(&other.score).is_eq()
         }
     }
     impl Eq for Partial {}
@@ -113,9 +115,10 @@ pub fn k_critical_paths(nl: &Netlist, sig: &ChipSignature, k: usize) -> Vec<Rank
     }
     impl Ord for Partial {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            self.score
-                .partial_cmp(&other.score)
-                .expect("scores are finite")
+            // `total_cmp`: a NaN delay in the signature must not abort
+            // path ranking (NaN scores order last, finite scores order
+            // exactly as before).
+            self.score.total_cmp(&other.score)
         }
     }
 
@@ -283,6 +286,23 @@ mod tests {
         for w in report.endpoints.windows(2) {
             assert!(w[0].2 <= w[1].2 + 1e-9);
         }
+    }
+
+    #[test]
+    fn nan_delay_does_not_panic_path_ranking() {
+        // A poisoned signature (NaN gate delay) must not abort the
+        // priority-queue ordering — part of the `total_cmp` audit.
+        let alu = Alu::new(8);
+        let mut sig = ChipSignature::nominal(alu.netlist(), Corner::NTC);
+        let victim = alu
+            .netlist()
+            .gates()
+            .iter()
+            .position(|g| !g.kind().is_pseudo())
+            .expect("alu has logic gates");
+        sig.inject_choke(&[victim], f64::NAN);
+        let paths = k_critical_paths(alu.netlist(), &sig, 4);
+        assert!(!paths.is_empty());
     }
 
     #[test]

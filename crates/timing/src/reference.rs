@@ -38,9 +38,10 @@ impl RefWave {
     }
 }
 
-/// The pre-rewrite kernel, verbatim: settle, then scan *every* gate in
-/// topological order, gathering candidate times into a scratch `Vec`,
-/// sorting with `partial_cmp` and emitting through a temporary `Vec`.
+/// The pre-rewrite kernel, verbatim (up to the NaN-safe candidate sort):
+/// settle, then scan *every* gate in topological order, gathering
+/// candidate times into a scratch `Vec`, sorting with `total_cmp` and
+/// emitting through a temporary `Vec`.
 #[allow(clippy::needless_range_loop)] // kept verbatim as the reference
 pub(crate) fn simulate_pair_reference(
     nl: &Netlist,
@@ -80,7 +81,11 @@ pub(crate) fn simulate_pair_reference(
                 if scratch_times.is_empty() {
                     continue;
                 }
-                scratch_times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+                // `total_cmp`, not `partial_cmp().expect(...)`: a NaN delay
+                // (e.g. injected by a corrupted signature) must not panic
+                // the kernel. Identical ordering on finite values, so the
+                // equivalence suite's bit-identity contract is unchanged.
+                scratch_times.sort_by(f64::total_cmp);
                 scratch_times.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
 
                 let delay = sig.delay_ps(i);
@@ -334,6 +339,35 @@ mod tests {
                 .any(|o| o.transitions.len() == MAX_EVENTS_PER_NET);
         }
         assert!(saw_cap, "test netlist never filled a wave to the cap");
+    }
+
+    #[test]
+    fn nan_delay_does_not_panic_the_reference_kernel() {
+        // A corrupted signature (NaN gate delay) must degrade to NaN
+        // delays, never panic the candidate sort — the daemon-facing
+        // hardening contract of the `total_cmp` audit.
+        let nl = random_netlist(3);
+        let mut sig = ChipSignature::fabricate(&nl, Corner::NTC, VariationParams::ntc(), 3);
+        let poisoned: Vec<usize> = nl
+            .gates()
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| !g.kind().is_pseudo())
+            .map(|(i, _)| i)
+            .collect();
+        sig.inject_choke(&poisoned, f64::NAN);
+        let mut rng = SplitMix64::seed_from_u64(0x4A4E);
+        let width = nl.inputs().len();
+        let init = random_vector(&mut rng, width);
+        let sens = random_vector(&mut rng, width);
+        let t = simulate_pair_reference(&nl, &sig, &init, &sens);
+        // Any emitted transition went through a NaN delay sum.
+        for o in &t.outputs {
+            assert!(o.transitions.iter().all(|t| t.is_nan()));
+        }
+        // The event-driven kernel survives the same poisoned chip.
+        let mut sim = DynamicSim::new(&nl, &sig);
+        let _ = sim.simulate_pair_minmax(&init, &sens);
     }
 
     #[test]

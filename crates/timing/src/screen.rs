@@ -98,7 +98,21 @@ impl ScreenBounds {
     /// Panics if the signature length does not match the netlist, or if
     /// the bound tables disagree with the static analysis.
     pub fn build(nl: &Netlist, sig: &ChipSignature, sta: &StaticTiming) -> Self {
-        assert_eq!(sig.delays_ps().len(), nl.len(), "signature/netlist mismatch");
+        Self::build_from_delays(nl, sig.delays_ps(), sta)
+    }
+
+    /// [`build`](Self::build) from a bare per-gate delay slice — what the
+    /// incremental engine ([`crate::incr`]) holds once the signature is
+    /// loaded, so it can (re)build tables on demand without a
+    /// [`ChipSignature`] round-trip. Same table bits as `build` for the
+    /// signature the slice came from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the delay slice length does not match the netlist, or if
+    /// the bound tables disagree with the static analysis.
+    pub fn build_from_delays(nl: &Netlist, delays: &[f64], sta: &StaticTiming) -> Self {
+        assert_eq!(delays.len(), nl.len(), "signature/netlist mismatch");
         let n = nl.len();
         let mut bounds = ScreenBounds {
             to_out: vec![(f64::INFINITY, f64::NEG_INFINITY); n],
@@ -112,7 +126,7 @@ impl ScreenBounds {
         // Nets are in topological order by ascending index, so one
         // descending pass folds every net after its entire fanout is final.
         for j in (0..n).rev() {
-            let (lo, hi) = bounds.fold_net(nl, sig.delays_ps(), j);
+            let (lo, hi) = bounds.fold_net(nl, delays, j);
             bounds.to_out[j] = (lo, hi);
         }
         bounds.check_against_critical();

@@ -48,7 +48,7 @@ fn assert_state_matches_full(
         );
     }
     let rebuilt = ScreenBounds::build(nl, sig, &full);
-    let refreshed = engine.screen_bounds();
+    let refreshed = engine.screen_bounds().expect("engine retimed at least once");
     assert_eq!(
         refreshed.static_critical_ps().to_bits(),
         rebuilt.static_critical_ps().to_bits(),

@@ -19,9 +19,12 @@
 //! * [`pipeline`] — the 11-stage pipeline and energy model
 //! * [`core`] — the resilience schemes and the cross-layer simulator
 //! * [`experiments`] — per-figure reproduction runners
+//! * [`serve`] — the grid-compute daemon (JSON-lines protocol,
+//!   coalescing, admission control)
 
 pub use ntc_core as core;
 pub use ntc_experiments as experiments;
+pub use ntc_serve as serve;
 pub use ntc_isa as isa;
 pub use ntc_netlist as netlist;
 pub use ntc_pipeline as pipeline;
