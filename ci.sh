@@ -20,16 +20,21 @@ cargo check --offline -p ntc-bench --features bench --benches
 echo "==> cargo clippy --offline --workspace --all-targets -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "==> repro --list covers both registries (experiments + schemes)"
+echo "==> repro --list covers all three registries (experiments + schemes + vdd)"
 ./target/release/repro --list > target/repro-ci-list.txt
-# Spot-gate the two registries: the newest experiment id and the scheme
-# roster must appear verbatim (the exhaustive equality check lives in the
-# repro_cli integration test; this catches a stale release binary).
+# Spot-gate the registries: the newest experiment id, the scheme roster,
+# and the operating-point roster must appear verbatim (the exhaustive
+# equality check lives in the repro_cli integration test; this catches a
+# stale release binary).
 grep -qx 'fig4.12' target/repro-ci-list.txt
 grep -qx 'abl.adder' target/repro-ci-list.txt
 grep -qx 'scheme dcs-icslt (DCS-ICSLT)' target/repro-ci-list.txt
 grep -qx 'scheme trident (Trident)' target/repro-ci-list.txt
 grep -qx 'scheme ocst (OCST)' target/repro-ci-list.txt
+grep -qx 'scheme dvs (DVS)' target/repro-ci-list.txt
+grep -qx 'scheme harden-choke (Harden-choke)' target/repro-ci-list.txt
+grep -qx 'vdd v0.45 (0.45 V)' target/repro-ci-list.txt
+grep -qx 'vdd v0.80 (0.80 V)' target/repro-ci-list.txt
 
 echo "==> cargo doc --offline --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace -q
@@ -45,14 +50,14 @@ test -s target/repro-ci/manifest.json
 test -s target/repro-ci/fig3_4.csv
 # The manifest and every stdout table document must parse as JSON.
 if command -v jq >/dev/null 2>&1; then
-  jq -e '.schema == "ntc-repro-manifest/4" and .failed == 0 and (.records | length) == 1' \
+  jq -e '.schema == "ntc-repro-manifest/5" and .failed == 0 and (.records | length) == 1' \
     target/repro-ci/manifest.json >/dev/null
   jq -e . target/repro-ci-tables.jsonl >/dev/null
 elif command -v python3 >/dev/null 2>&1; then
   python3 - <<'EOF'
 import json
 m = json.load(open("target/repro-ci/manifest.json"))
-assert m["schema"] == "ntc-repro-manifest/4" and m["failed"] == 0 and len(m["records"]) == 1, m
+assert m["schema"] == "ntc-repro-manifest/5" and m["failed"] == 0 and len(m["records"]) == 1, m
 for line in open("target/repro-ci-tables.jsonl"):
     if line.strip():
         json.loads(line)
@@ -87,6 +92,33 @@ rm -rf target/repro-ci-evict
 cmp target/repro-ci-cold/fig3_8.csv target/repro-ci-evict/fig3_8.csv
 grep -Eq '"corrupt_evictions":[1-9][0-9]*,' target/repro-ci-evict/manifest.json
 ls target/repro-ci-cache/*.grid.corrupt >/dev/null
+
+echo "==> voltage axis: 4-point grid, cached byte-identically, old schema ignored"
+# A four-point --vdd sweep through a fresh cache dir, twice: the warm run
+# must reproduce the cold CSV byte-for-byte from the disk tier, per-point
+# rows must be labelled, and the manifest must count cells per point.
+rm -rf target/repro-ci-vdd-cache target/repro-ci-vdd-cold target/repro-ci-vdd-warm
+./target/release/repro --fast --vdd ntc,v0.55,v0.65,stc \
+  --cache-dir target/repro-ci-vdd-cache --out target/repro-ci-vdd-cold \
+  fig3.10 >/dev/null
+grep -q '@ v0.55' target/repro-ci-vdd-cold/fig3_10.csv
+grep -q '@ v0.80' target/repro-ci-vdd-cold/fig3_10.csv
+grep -q '"voltages":{"v0.45":' target/repro-ci-vdd-cold/manifest.json
+# An artifact written under any older cache schema lives at a filename the
+# current code never computes: it must be *ignored* — no quarantine, no
+# eviction, bytes untouched — while the real artifacts hit.
+stale=target/repro-ci-vdd-cache/00000000000000000000000000000000.grid
+printf 'NTCGRID1 written by an older schema' > "$stale"
+NTC_VDD=ntc,v0.55,v0.65,stc ./target/release/repro --fast \
+  --cache-dir target/repro-ci-vdd-cache --out target/repro-ci-vdd-warm \
+  fig3.10 >/dev/null
+cmp target/repro-ci-vdd-cold/fig3_10.csv target/repro-ci-vdd-warm/fig3_10.csv
+grep -Eq '"disk_hits":[1-9][0-9]*,"disk_misses":0,' target/repro-ci-vdd-warm/manifest.json
+grep -q '"corrupt_evictions":0,' target/repro-ci-vdd-warm/manifest.json
+test "$(cat "$stale")" = 'NTCGRID1 written by an older schema'
+if ls target/repro-ci-vdd-cache/*.corrupt >/dev/null 2>&1; then
+  echo "FAIL: old-schema artifact must be ignored, not quarantined"; exit 1
+fi
 
 echo "==> timing screen: on vs off, byte-identical CSVs, nonzero hit rate"
 # fig3.11 carries HFG, whose guardbanded clock the conservative screen can

@@ -64,6 +64,47 @@ impl ResilienceScheme for Razor {
     }
 }
 
+/// The selective-hardening ablation: Razor detection on a die whose top-k
+/// slow choke gates were hardened (de-rated to the nominal delay) before
+/// fabrication. The hardening itself lives in the experiment harness —
+/// the delay oracle is built from a de-rated chip signature — so this
+/// wrapper only renames the scheme for the figures and charges the
+/// upsized gates' always-on power on top of Razor's shadow latches.
+#[derive(Debug, Clone)]
+pub struct HardenedRazor {
+    inner: Razor,
+    power_overhead: f64,
+}
+
+impl HardenedRazor {
+    /// Razor over a die with `top_k` hardened choke gates. The per-gate
+    /// upsizing power is small and saturates: hardening beyond the few
+    /// genuine choke gates buys nothing but leakage.
+    pub fn new(top_k: usize) -> Self {
+        let inner = Razor::ch3();
+        let hardening = 0.0005 * top_k.min(32) as f64;
+        let power_overhead = inner.power_overhead + hardening;
+        HardenedRazor {
+            inner,
+            power_overhead,
+        }
+    }
+}
+
+impl ResilienceScheme for HardenedRazor {
+    fn name(&self) -> &'static str {
+        "Harden-choke"
+    }
+
+    fn on_cycle(&mut self, ctx: &CycleContext<'_>) -> CycleOutcome {
+        self.inner.on_cycle(ctx)
+    }
+
+    fn power_overhead_frac(&self) -> f64 {
+        self.power_overhead
+    }
+}
+
 /// Hierarchically Focused Guardbanding: in-situ PVTA sensors drive an
 /// adaptive timing guardband wide enough that errors never occur. No
 /// recovery penalty — but every single cycle pays the stretched clock, and
@@ -308,6 +349,25 @@ mod tests {
         );
         let mut r3 = Razor::ch3();
         assert_eq!(r3.on_cycle(&ctx(&p, &c, Some(5.0), Some(90.0))), CycleOutcome::Clean);
+    }
+
+    #[test]
+    fn hardened_razor_detects_like_ch3_and_charges_hardening_power() {
+        let (p, c) = instrs();
+        let mut h = HardenedRazor::new(8);
+        assert_eq!(h.name(), "Harden-choke");
+        assert!(matches!(
+            h.on_cycle(&ctx(&p, &c, Some(50.0), Some(150.0))),
+            CycleOutcome::Recovered { .. }
+        ));
+        assert_eq!(h.on_cycle(&ctx(&p, &c, Some(5.0), Some(90.0))), CycleOutcome::Clean);
+        // More hardened gates cost more power, saturating past 32.
+        assert!(HardenedRazor::new(16).power_overhead_frac() > h.power_overhead_frac());
+        assert_eq!(
+            HardenedRazor::new(64).power_overhead_frac(),
+            HardenedRazor::new(32).power_overhead_frac()
+        );
+        assert!(h.power_overhead_frac() > Razor::ch3().power_overhead_frac());
     }
 
     #[test]

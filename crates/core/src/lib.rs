@@ -52,6 +52,7 @@
 
 pub mod baselines;
 pub mod dcs;
+pub mod dvs;
 pub mod overhead;
 pub mod scenario;
 pub mod scheme;
@@ -60,8 +61,9 @@ pub mod tables;
 pub mod tag_delay;
 pub mod trident;
 
-pub use baselines::{Hfg, Ocst, Razor};
+pub use baselines::{HardenedRazor, Hfg, Ocst, Razor};
 pub use dcs::{CsltKind, Dcs};
+pub use dvs::{DvsController, DvsLevel, DVS_TARGET_PPM};
 pub use scenario::{ChipContext, ParseSchemeError, SchemeSpec, SimAccumulator};
 pub use scheme::{CycleContext, CycleOutcome, ResilienceScheme};
 pub use sim::{profile_errors, run_scheme, ErrorProfile, SimResult};

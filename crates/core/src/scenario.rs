@@ -21,13 +21,15 @@
 //!   aggregate a true mean over chips (the old inline folds computed a
 //!   running half-average for the HFG stretch — see `mean_period_stretch`).
 
-use crate::baselines::{Hfg, Ocst, Razor};
+use crate::baselines::{HardenedRazor, Hfg, Ocst, Razor};
 use crate::dcs::{CsltKind, Dcs};
+use crate::dvs::{DvsController, DvsLevel, DVS_TARGET_PPM};
 use crate::scheme::ResilienceScheme;
 use crate::sim::SimResult;
 use crate::trident::Trident;
 use ntc_pipeline::RunCost;
 use ntc_timing::{ClockSpec, ErrorClass};
+use ntc_varmodel::OperatingPoint;
 
 /// The guardband margin HFG's sensor network applies on top of the chip's
 /// post-silicon static critical delay (§3.5.4: the controller cannot know
@@ -46,6 +48,10 @@ pub struct ChipContext {
     /// Length of the instruction trace, in instructions (OCST scales its
     /// tuning interval to keep the paper's tuning-to-run ratio).
     pub trace_len: usize,
+    /// The operating point the cell is evaluated at (the DVS controller
+    /// derives its undervolting ladder from it; corner-pinned callers pass
+    /// [`OperatingPoint::NTC`]).
+    pub point: OperatingPoint,
 }
 
 /// One registered resilience scheme, as pure data.
@@ -83,6 +89,20 @@ pub enum SchemeSpec {
     /// OCST with the paper's skew budget; the tuning interval is scaled to
     /// the trace length at build time (ten tuning opportunities per run).
     Ocst,
+    /// Closed-loop dynamic voltage scaling (Kaul et al.): a Razor-style
+    /// corrector whose supply walks the operating-point roster below the
+    /// grid point until the measured correction rate crosses the target.
+    /// The undervolting ladder is derived from the cell's
+    /// [`ChipContext::point`] at build time.
+    Dvs,
+    /// Selective-hardening ablation: de-rate only the top-k slow choke
+    /// gates before fabrication (the harness builds the oracle from the
+    /// de-rated signature — see [`SchemeSpec::hardened_top_k`]), then
+    /// detect Razor-style.
+    HardenChoke {
+        /// Choke gates hardened, slowest first.
+        top_k: usize,
+    },
 }
 
 /// Failure to resolve a scheme name against the registry.
@@ -113,7 +133,7 @@ impl SchemeSpec {
     /// The canonical roster: every scheme of the study in its
     /// paper-settled configuration, in figure order.
     pub fn roster() -> &'static [SchemeSpec] {
-        const ROSTER: [SchemeSpec; 7] = [
+        const ROSTER: [SchemeSpec; 9] = [
             SchemeSpec::RazorCh3,
             SchemeSpec::RazorCh4,
             SchemeSpec::Hfg,
@@ -124,6 +144,8 @@ impl SchemeSpec {
             },
             SchemeSpec::Trident { cet_entries: 128 },
             SchemeSpec::Ocst,
+            SchemeSpec::Dvs,
+            SchemeSpec::HardenChoke { top_k: 8 },
         ];
         &ROSTER
     }
@@ -149,6 +171,9 @@ impl SchemeSpec {
             SchemeSpec::Trident { cet_entries: 128 } => "trident".into(),
             SchemeSpec::Trident { cet_entries } => format!("trident:{cet_entries}"),
             SchemeSpec::Ocst => "ocst".into(),
+            SchemeSpec::Dvs => "dvs".into(),
+            SchemeSpec::HardenChoke { top_k: 8 } => "harden-choke".into(),
+            SchemeSpec::HardenChoke { top_k } => format!("harden-choke:{top_k}"),
         }
     }
 
@@ -173,6 +198,9 @@ impl SchemeSpec {
             SchemeSpec::Trident { cet_entries: 128 } => "Trident".into(),
             SchemeSpec::Trident { cet_entries } => format!("Trident ({cet_entries})"),
             SchemeSpec::Ocst => "OCST".into(),
+            SchemeSpec::Dvs => "DVS".into(),
+            SchemeSpec::HardenChoke { top_k: 8 } => "Harden-choke".into(),
+            SchemeSpec::HardenChoke { top_k } => format!("Harden-choke ({top_k})"),
         }
     }
 
@@ -216,6 +244,11 @@ impl SchemeSpec {
             ("trident", Some(a)) => SchemeSpec::Trident {
                 cet_entries: a.parse().map_err(|_| err())?,
             },
+            ("dvs", None) => SchemeSpec::Dvs,
+            ("harden-choke", None) => SchemeSpec::HardenChoke { top_k: 8 },
+            ("harden-choke", Some(a)) => SchemeSpec::HardenChoke {
+                top_k: a.parse().map_err(|_| err())?,
+            },
             _ => return Err(err()),
         };
         if spec.capacity_params().contains(&0) {
@@ -234,7 +267,18 @@ impl SchemeSpec {
                 entries,
                 associativity,
             } => vec![entries, associativity],
+            SchemeSpec::HardenChoke { top_k } => vec![top_k],
             _ => Vec::new(),
+        }
+    }
+
+    /// For the selective-hardening ablation, the number of slow choke
+    /// gates the harness must de-rate in the chip signature before
+    /// building the cell's delay oracle; `None` for every other scheme.
+    pub fn hardened_top_k(&self) -> Option<usize> {
+        match *self {
+            SchemeSpec::HardenChoke { top_k } => Some(top_k),
+            _ => None,
         }
     }
 
@@ -284,6 +328,28 @@ impl SchemeSpec {
                 let interval = (ctx.trace_len as u64 / 10).clamp(1, 100_000);
                 Box::new(Ocst::new(interval, 0.30))
             }
+            SchemeSpec::Dvs => {
+                // The undervolting ladder: from the grid operating point
+                // down to the roster's NTC endpoint. Undervolting by one
+                // rung multiplies every delay by the alpha-power factor
+                // ratio, which is identical to shrinking the effective
+                // clock by its inverse — the scale stored per rung.
+                let grid_factor = ctx.point.corner().delay_factor();
+                let mut levels = Vec::new();
+                let mut rung = Some(ctx.point);
+                while let Some(p) = rung {
+                    levels.push(DvsLevel {
+                        vdd: p.vdd(),
+                        period_scale: grid_factor / p.corner().delay_factor(),
+                    });
+                    rung = p.step_down();
+                }
+                // Retune often enough for the controller to settle within
+                // one run (twenty windows), bounded like OCST's interval.
+                let window = (ctx.trace_len as u64 / 20).clamp(100, 50_000);
+                Box::new(DvsController::new(levels, window, DVS_TARGET_PPM))
+            }
+            SchemeSpec::HardenChoke { top_k } => Box::new(HardenedRazor::new(top_k)),
         }
     }
 }
@@ -521,8 +587,13 @@ mod tests {
             SchemeSpec::parse("trident:512"),
             Ok(SchemeSpec::Trident { cet_entries: 512 })
         );
+        assert_eq!(
+            SchemeSpec::parse("harden-choke:4"),
+            Ok(SchemeSpec::HardenChoke { top_k: 4 })
+        );
         // Paper defaults collapse to the bare name.
         assert_eq!(SchemeSpec::parse("dcs-icslt:128").unwrap().name(), "dcs-icslt");
+        assert_eq!(SchemeSpec::parse("harden-choke:8").unwrap().name(), "harden-choke");
     }
 
     #[test]
@@ -535,6 +606,8 @@ mod tests {
             "dcs-acslt:32",
             "trident:0",
             "razor:1",
+            "harden-choke:0",
+            "dvs:1",
         ] {
             let e = SchemeSpec::parse(bad).expect_err(bad);
             assert_eq!(e.input, bad);
@@ -551,6 +624,7 @@ mod tests {
                 hold_ps: 100.0,
             },
             trace_len: 60_000,
+            point: OperatingPoint::NTC,
         };
         let hfg = SchemeSpec::Hfg.build(&ctx);
         let expect = 1500.0 * HFG_GUARDBAND_MARGIN / 1100.0;
@@ -565,6 +639,22 @@ mod tests {
         for spec in SchemeSpec::roster() {
             assert!(!spec.build(&ctx).name().is_empty());
         }
+        // DVS at the NTC endpoint has nowhere to undervolt: its single-rung
+        // ladder thresholds at the base clock exactly. At a higher grid
+        // point the bottom rung tightens the screen period.
+        let dvs_ntc = SchemeSpec::Dvs.build(&ctx);
+        assert_eq!(dvs_ntc.screen_clock(ctx.clock), ctx.clock);
+        let mid = ChipContext {
+            point: OperatingPoint::parse("v0.60").unwrap(),
+            ..ctx
+        };
+        let dvs_mid = SchemeSpec::Dvs.build(&mid);
+        let screen = dvs_mid.screen_clock(ctx.clock);
+        assert!(screen.period_ps < ctx.clock.period_ps);
+        assert_eq!(screen.hold_ps, ctx.clock.hold_ps);
+        // The hardening count flows through to the harness hook.
+        assert_eq!(SchemeSpec::HardenChoke { top_k: 8 }.hardened_top_k(), Some(8));
+        assert_eq!(SchemeSpec::Dvs.hardened_top_k(), None);
     }
 
     #[test]

@@ -5,18 +5,23 @@
 //! ```text
 //! repro [--full] [--jobs N] [--out DIR] [--format text|json]
 //!       [--cache-dir DIR] [--no-cache] [--no-screen] [--no-incr]
-//!       [--resume] [ID ...]
+//!       [--vdd LIST] [--resume] [ID ...]
 //! ```
 //!
 //! With no IDs, the whole suite runs. `--full` switches to paper-scale
 //! parameters (million-cycle traces); the default fast scale keeps the run
 //! laptop-friendly. `--jobs N` (or the `NTC_JOBS` environment variable)
 //! pins the sweep-engine thread count — results are bit-identical at any
-//! value, only the wall clock changes. Tables print to stdout (aligned
-//! text by default, one JSON object per line with `--format json`) and
-//! CSVs land in `--out` (default `target/repro`). `--list` enumerates
-//! both registries — every experiment id, then every registered scheme as
-//! `scheme <name> (<display name>)` — and exits.
+//! value, only the wall clock changes. `--vdd LIST` (or the `NTC_VDD`
+//! environment variable) widens the supply-voltage axis of every
+//! grid-shaped experiment to the given comma-separated operating points
+//! (`0.45`, `v0.60`, `ntc`, `stc`, …); the default is the single NTC
+//! point, which keeps every legacy table byte-identical. Tables print to
+//! stdout (aligned text by default, one JSON object per line with
+//! `--format json`) and CSVs land in `--out` (default `target/repro`).
+//! `--list` enumerates all three registries — every experiment id, then
+//! every registered scheme as `scheme <name> (<display name>)`, then the
+//! operating-point roster as `vdd <name> (<display name>)` — and exits.
 //!
 //! Two mechanisms make reruns cheap:
 //!
@@ -108,6 +113,17 @@ fn run() -> i32 {
             "--no-cache" => no_cache = true,
             "--no-screen" => ntc_experiments::config::set_screen_disabled(true),
             "--no-incr" => ntc_experiments::config::set_incr_disabled(true),
+            "--vdd" => match args.next().as_deref().map(ntc_experiments::parse_voltages) {
+                Some(Ok(points)) => ntc_experiments::set_voltages(points),
+                Some(Err(e)) => {
+                    eprintln!("--vdd: {e}");
+                    return 2;
+                }
+                None => {
+                    eprintln!("--vdd requires a comma-separated operating-point list");
+                    return 2;
+                }
+            },
             "--resume" => resume = true,
             "--jobs" | "-j" => {
                 match args
@@ -138,28 +154,34 @@ fn run() -> i32 {
                 }
             },
             "--list" => {
-                // Both registries, so nothing can be runnable yet
-                // unlisted: experiment ids first, then the scheme roster
-                // (ci.sh diffs this output against the registries).
+                // All three registries, so nothing can be runnable yet
+                // unlisted: experiment ids first, then the scheme roster,
+                // then the operating-point roster (ci.sh diffs this
+                // output against the registries).
                 for (id, _) in all_experiments() {
                     println!("{id}");
                 }
                 for spec in SchemeSpec::roster() {
                     println!("scheme {} ({})", spec.name(), spec.display_name());
                 }
+                for point in ntc_varmodel::OperatingPoint::roster() {
+                    println!("vdd {} ({})", point.name(), point.display_name());
+                }
                 return 0;
             }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--full] [--jobs N] [--out DIR] [--format text|json] \
-                     [--cache-dir DIR] [--no-cache] [--no-screen] [--no-incr] [--resume] [--list] \
-                     [ID ...]\n\
+                     [--cache-dir DIR] [--no-cache] [--no-screen] [--no-incr] [--vdd LIST] \
+                     [--resume] [--list] [ID ...]\n\
                      --cache-dir DIR  persistent grid-result cache shared across runs\n\
                      --no-cache       bypass all grid caching (cold run)\n\
                      --no-screen      disable the conservative timing screen (also NTC_SCREEN=off);\n\
                      \u{20}                results are bit-identical, only exact-kernel work changes\n\
                      --no-incr        disable incremental STA re-timing (also NTC_INCR=off);\n\
                      \u{20}                results are bit-identical, only static-analysis work changes\n\
+                     --vdd LIST       sweep grids over these operating points (also NTC_VDD);\n\
+                     \u{20}                comma-separated, e.g. `0.45,0.60,stc`; default ntc only\n\
                      --resume         skip experiments already passing in <out>/manifest.json\n\
                      exit codes: 0 all good; 1 experiment/CSV/manifest failure; \
                      2 usage error or unknown ID"
@@ -286,6 +308,7 @@ fn run() -> i32 {
         let _ = runner::take_stats();
         let _ = take_oracle_stats();
         let _ = cache::take_stats();
+        let _ = ntc_experiments::take_voltage_cells();
         let _ = runner::take_sweep_failures();
         let start = Instant::now();
         // Experiment-level fault isolation: a panicking experiment (e.g. a
@@ -306,6 +329,10 @@ fn run() -> i32 {
             sweep: runner::take_stats(),
             oracle: take_oracle_stats(),
             cache: cache::take_stats(),
+            voltages: ntc_experiments::take_voltage_cells()
+                .into_iter()
+                .map(|(point, cells)| (point.name().to_owned(), cells))
+                .collect(),
             sweep_failures: runner::take_sweep_failures(),
             rows: 0,
             csv: None,
@@ -420,6 +447,17 @@ fn describe(r: &RunRecord) -> String {
         if r.cache.bytes_written > 0 {
             line.push_str(&format!(", {} B written", r.cache.bytes_written));
         }
+    }
+    // Voltage-axis traffic: which operating points this experiment's
+    // grids actually computed cells at (memo/disk hits excluded). Only
+    // worth a line once the axis is wider than the NTC default.
+    if r.voltages.len() > 1 {
+        let per_point: Vec<String> = r
+            .voltages
+            .iter()
+            .map(|(name, cells)| format!("{name}={cells}"))
+            .collect();
+        line.push_str(&format!(", cells per vdd {}", per_point.join(" ")));
     }
     if !r.sweep_failures.is_empty() {
         line.push_str(&format!(

@@ -4,7 +4,7 @@
 //! [`crate::scenario::run_grid`]), but every `repro` invocation used to
 //! re-pay the full sweep cost from scratch. This module makes the
 //! expensive part — the folded accumulators of a (benchmarks × chips ×
-//! schemes) grid — survive the process:
+//! schemes × voltages) grid — survive the process:
 //!
 //! * **Content-addressed keys.** [`cache_key`] hashes a *canonical byte
 //!   encoding* of the [`GridSpec`] (not Rust's `Hash`, whose output is
@@ -37,6 +37,7 @@
 use crate::scenario::{GridResult, GridSpec};
 use ntc_core::scenario::{SchemeSpec, SimAccumulator, SimAccumulatorParts};
 use ntc_pipeline::RunCost;
+use ntc_varmodel::OperatingPoint;
 use ntc_workload::{Benchmark, ALL_BENCHMARKS};
 use std::collections::HashSet;
 use std::io;
@@ -46,8 +47,12 @@ use std::sync::{Mutex, OnceLock};
 
 /// Cache format identifier, folded into every [`cache_key`]; bump on any
 /// breaking change to the artifact encoding or to the meaning of a spec
-/// field, and every existing artifact silently stops being addressed.
-pub const GRID_CACHE_SCHEMA: &str = "ntc-grid-cache/1";
+/// field, and every existing artifact silently stops being addressed —
+/// old files are ignored (never touched, never quarantined), because the
+/// new schema simply hashes to different artifact names. (`/2` added the
+/// operating-point axis: the spec's voltage list and a per-row point
+/// name.)
+pub const GRID_CACHE_SCHEMA: &str = "ntc-grid-cache/2";
 
 /// Leading magic of every artifact file.
 const MAGIC: &[u8; 8] = b"NTCGRID1";
@@ -288,8 +293,9 @@ fn push_str(out: &mut Vec<u8>, s: &str) {
 }
 
 /// Encode a grid result as one self-verifying artifact: magic, key
-/// preimage echo, schemes, per-benchmark accumulators (floats as raw bit
-/// patterns), and a trailing FNV-1a checksum over everything before it.
+/// preimage echo, schemes, per-(benchmark, operating point) row
+/// accumulators (floats as raw bit patterns), and a trailing FNV-1a
+/// checksum over everything before it.
 pub fn encode(spec: &GridSpec, result: &GridResult) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
@@ -300,9 +306,10 @@ pub fn encode(spec: &GridSpec, result: &GridResult) -> Vec<u8> {
     for s in result.schemes() {
         push_str(&mut out, &s.name());
     }
-    push_u64(&mut out, result.per_bench().len() as u64);
-    for (bench, accs) in result.per_bench() {
+    push_u64(&mut out, result.rows().len() as u64);
+    for (bench, point, accs) in result.rows() {
         push_str(&mut out, bench.name());
+        push_str(&mut out, point.name());
         push_u64(&mut out, accs.len() as u64);
         for acc in accs {
             let p = acc.to_parts();
@@ -442,16 +449,25 @@ fn decode(bytes: &[u8], spec: &GridSpec) -> Decoded {
     if schemes != spec.schemes {
         return Decoded::Corrupt("scheme roster does not match the spec");
     }
-    let n_bench = want!(r.u64(), "benchmark count");
-    if n_bench != spec.benchmarks.len() as u64 {
-        return Decoded::Corrupt("benchmark count does not match the spec");
+    let groups = spec.row_groups();
+    let n_rows = want!(r.u64(), "row count");
+    if n_rows != groups.len() as u64 {
+        return Decoded::Corrupt("row count does not match the spec");
     }
-    let mut per_bench = Vec::new();
-    for expected in &spec.benchmarks {
+    let mut rows = Vec::new();
+    for (expected_bench, expected_point) in groups {
         let name = want!(r.str(), "benchmark name");
         let bench = want!(benchmark_by_name(name), "unknown benchmark name");
-        if bench != *expected {
-            return Decoded::Corrupt("benchmark order does not match the spec");
+        if bench != expected_bench {
+            return Decoded::Corrupt("row order does not match the spec");
+        }
+        let point_name = want!(r.str(), "operating-point name");
+        let point = want!(
+            OperatingPoint::parse(point_name).ok(),
+            "unknown operating point"
+        );
+        if point != expected_point {
+            return Decoded::Corrupt("row order does not match the spec");
         }
         let n_accs = want!(r.u64(), "accumulator count");
         if n_accs != schemes.len() as u64 {
@@ -500,12 +516,12 @@ fn decode(bytes: &[u8], spec: &GridSpec) -> Decoded {
             parts.power_overhead = f64::from_bits(want!(r.u64(), "power_overhead"));
             accs.push(SimAccumulator::from_parts(parts));
         }
-        per_bench.push((bench, accs));
+        rows.push((bench, point, accs));
     }
     if r.pos != body.len() {
         return Decoded::Corrupt("trailing bytes after the last accumulator");
     }
-    Decoded::Hit(Box::new(GridResult::from_parts(schemes, per_bench)))
+    Decoded::Hit(Box::new(GridResult::from_parts(schemes, rows)))
 }
 
 // ---------------------------------------------------------------------
@@ -593,6 +609,7 @@ mod tests {
             benchmarks: vec![Benchmark::Gzip, Benchmark::Mcf],
             chips: 2,
             schemes: vec![SchemeSpec::RazorCh3, SchemeSpec::DcsIcslt { entries: 32 }],
+            voltages: vec![OperatingPoint::NTC],
             regime: Regime::Ch3,
             chip_seed_base: 220,
             trace_seed,
@@ -609,6 +626,10 @@ mod tests {
         let mut other = spec(7);
         other.chips = 3;
         assert_ne!(a, cache_key(&other));
+        // The voltage axis is part of the key too.
+        let mut volts = spec(7);
+        volts.voltages = vec![OperatingPoint::NTC, OperatingPoint::STC];
+        assert_ne!(a, cache_key(&volts));
     }
 
     #[test]

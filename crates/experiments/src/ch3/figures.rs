@@ -3,7 +3,7 @@
 
 use crate::ch3::choke_study::{run_choke_study, STUDY_OPS};
 use crate::config::{build_oracle, normalize_to_first, Scale, CH3_REGIME};
-use crate::scenario::{run_grid, GridSpec, Regime};
+use crate::scenario::{row_label, run_grid, GridResult, GridSpec, Regime};
 use crate::table::ResultTable;
 use ntc_core::overhead::{dcs_acslt_overheads, dcs_icslt_overheads, PipelineBaseline};
 use ntc_core::scenario::{SchemeSpec, SimAccumulator};
@@ -116,14 +116,16 @@ fn accuracy_sweep(kinds: &[(String, SchemeSpec)], scale: Scale) -> ResultTable {
         benchmarks: ALL_BENCHMARKS.to_vec(),
         chips: scale.chips(),
         schemes: kinds.iter().map(|(_, s)| *s).collect(),
+        voltages: crate::config::voltages(),
         regime: Regime::Ch3,
         chip_seed_base: 100,
         trace_seed: 7,
         cycles: scale.cycles(),
     });
-    for (bench, accs) in grid.per_bench() {
+    let multi = grid.voltages().len() > 1;
+    for (bench, point, accs) in grid.rows() {
         t.push_row(
-            bench.name(),
+            row_label(*bench, *point, multi),
             accs.iter()
                 .map(SimAccumulator::mean_prediction_accuracy)
                 .collect(),
@@ -165,8 +167,9 @@ pub fn fig_3_9(scale: Scale) -> ResultTable {
     t
 }
 
-/// One full Ch. 3 comparison (Razor, HFG, ICSLT, ACSLT) for one benchmark,
-/// aggregated over chips (summed counters, mean period stretch).
+/// The full Ch. 3 comparison grid (Razor, HFG, ICSLT, ACSLT) over every
+/// benchmark and requested operating point, aggregated over chips (summed
+/// counters, mean period stretch).
 ///
 /// Figs. 3.10–3.12 chart different columns of the *same* grid — by far the
 /// chapter's heaviest computation — which the scenario engine's spec-keyed
@@ -174,8 +177,8 @@ pub fn fig_3_9(scale: Scale) -> ResultTable {
 /// in-tree SplitMix64 lottery: it draws dice whose post-silicon guardband
 /// spread reproduces the paper's qualitative ordering (HFG worst on most
 /// benchmarks, §3.5.4).
-fn ch3_compare(bench: Benchmark, scale: Scale) -> Vec<SimResult> {
-    let grid = run_grid(&GridSpec {
+fn ch3_compare(scale: Scale) -> std::sync::Arc<GridResult> {
+    run_grid(&GridSpec {
         benchmarks: ALL_BENCHMARKS.to_vec(),
         chips: scale.chips(),
         schemes: vec![
@@ -187,14 +190,27 @@ fn ch3_compare(bench: Benchmark, scale: Scale) -> Vec<SimResult> {
                 associativity: 16,
             },
         ],
+        voltages: crate::config::voltages(),
         regime: Regime::Ch3,
         chip_seed_base: 220,
         trace_seed: 7,
         cycles: scale.cycles(),
-    });
-    grid.benchmark(bench)
+    })
+}
+
+/// Per-row scheme results of the Ch. 3 comparison grid, labelled with
+/// [`row_label`] so single-voltage tables keep their legacy row names.
+fn ch3_compare_rows(scale: Scale) -> Vec<(String, Vec<SimResult>)> {
+    let grid = ch3_compare(scale);
+    let multi = grid.voltages().len() > 1;
+    grid.rows()
         .iter()
-        .map(SimAccumulator::result)
+        .map(|(bench, point, accs)| {
+            (
+                row_label(*bench, *point, multi),
+                accs.iter().map(SimAccumulator::result).collect(),
+            )
+        })
         .collect()
 }
 
@@ -206,13 +222,12 @@ pub fn fig_3_10(scale: Scale) -> ResultTable {
         "Recovery penalty normalized to Razor (lower is better)",
         ["Razor", "DCS-ICSLT", "DCS-ACSLT"],
     );
-    for bench in ALL_BENCHMARKS {
-        let rs = ch3_compare(bench, scale);
+    for (label, rs) in ch3_compare_rows(scale) {
         let penalties: Vec<f64> = [&rs[0], &rs[2], &rs[3]]
             .iter()
             .map(|r| r.cost.penalty_cycles() as f64)
             .collect();
-        t.push_row(bench.name(), normalize_to_first(&penalties));
+        t.push_row(label, normalize_to_first(&penalties));
     }
     t
 }
@@ -225,10 +240,9 @@ pub fn fig_3_11(scale: Scale) -> ResultTable {
         "Performance normalized to Razor (higher is better)",
         ["Razor", "HFG", "DCS-ICSLT", "DCS-ACSLT"],
     );
-    for bench in ALL_BENCHMARKS {
-        let rs = ch3_compare(bench, scale);
+    for (label, rs) in ch3_compare_rows(scale) {
         let perf: Vec<f64> = rs.iter().map(SimResult::performance).collect();
-        t.push_row(bench.name(), normalize_to_first(&perf));
+        t.push_row(label, normalize_to_first(&perf));
     }
     t
 }
@@ -242,10 +256,9 @@ pub fn fig_3_12(scale: Scale) -> ResultTable {
         ["Razor", "HFG", "DCS-ICSLT", "DCS-ACSLT"],
     );
     let model = EnergyModel::ntc_core();
-    for bench in ALL_BENCHMARKS {
-        let rs = ch3_compare(bench, scale);
+    for (label, rs) in ch3_compare_rows(scale) {
         let eff: Vec<f64> = rs.iter().map(|r| r.energy(model).efficiency).collect();
-        t.push_row(bench.name(), normalize_to_first(&eff));
+        t.push_row(label, normalize_to_first(&eff));
     }
     t
 }

@@ -4,7 +4,7 @@
 
 use crate::config::{build_oracle, normalize_to_first, Scale, CH4_REGIME};
 use crate::runner::{sweep, sweep_over};
-use crate::scenario::{expand, fold_cells, run_grid, GridSpec, Regime};
+use crate::scenario::{expand, fold_cells, row_label, run_grid, GridResult, GridSpec, Regime};
 use crate::table::ResultTable;
 use ntc_core::overhead::{trident_overheads, PipelineBaseline};
 use ntc_core::scenario::{SchemeSpec, SimAccumulator};
@@ -382,14 +382,16 @@ pub fn fig_4_9(scale: Scale) -> ResultTable {
             .iter()
             .map(|&cet_entries| SchemeSpec::Trident { cet_entries })
             .collect(),
+        voltages: crate::config::voltages(),
         regime: Regime::Ch4,
         chip_seed_base: 0x49,
         trace_seed: 13,
         cycles: scale.cycles(),
     });
-    for (bench, accs) in grid.per_bench() {
+    let multi = grid.voltages().len() > 1;
+    for (bench, point, accs) in grid.rows() {
         t.push_row(
-            bench.name(),
+            row_label(*bench, *point, multi),
             accs.iter()
                 .map(SimAccumulator::mean_prediction_accuracy)
                 .collect(),
@@ -398,15 +400,16 @@ pub fn fig_4_9(scale: Scale) -> ResultTable {
     t
 }
 
-/// One full Ch. 4 comparison (Razor, OCST, Trident) for one benchmark,
-/// summed over chips. Razor and OCST run on the buffered netlist (their
-/// double-sampling design requires it); Trident runs bufferless against
-/// the TDC guard-interval clock — the registry encodes both choices.
+/// The full Ch. 4 comparison grid (Razor, OCST, Trident) over every
+/// benchmark and requested operating point, summed over chips. Razor and
+/// OCST run on the buffered netlist (their double-sampling design
+/// requires it); Trident runs bufferless against the TDC guard-interval
+/// clock — the registry encodes both choices.
 ///
 /// Figs. 4.10–4.12 chart different columns of the *same* grid, which the
 /// scenario engine's spec-keyed cache sweeps once and shares.
-fn ch4_compare(bench: Benchmark, scale: Scale) -> Vec<SimResult> {
-    let grid = run_grid(&GridSpec {
+fn ch4_compare(scale: Scale) -> std::sync::Arc<GridResult> {
+    run_grid(&GridSpec {
         benchmarks: ALL_BENCHMARKS.to_vec(),
         chips: scale.chips(),
         schemes: vec![
@@ -414,14 +417,27 @@ fn ch4_compare(bench: Benchmark, scale: Scale) -> Vec<SimResult> {
             SchemeSpec::Ocst,
             SchemeSpec::Trident { cet_entries: 128 },
         ],
+        voltages: crate::config::voltages(),
         regime: Regime::Ch4,
         chip_seed_base: 400,
         trace_seed: 17,
         cycles: scale.cycles(),
-    });
-    grid.benchmark(bench)
+    })
+}
+
+/// Per-row scheme results of the Ch. 4 comparison grid, labelled with
+/// [`row_label`] so single-voltage tables keep their legacy row names.
+fn ch4_compare_rows(scale: Scale) -> Vec<(String, Vec<SimResult>)> {
+    let grid = ch4_compare(scale);
+    let multi = grid.voltages().len() > 1;
+    grid.rows()
         .iter()
-        .map(SimAccumulator::result)
+        .map(|(bench, point, accs)| {
+            (
+                row_label(*bench, *point, multi),
+                accs.iter().map(SimAccumulator::result).collect(),
+            )
+        })
         .collect()
 }
 
@@ -433,10 +449,9 @@ pub fn fig_4_10(scale: Scale) -> ResultTable {
         "Penalty cycles normalized to Razor (lower is better)",
         ["Razor", "OCST", "Trident"],
     );
-    for bench in ALL_BENCHMARKS {
-        let rs = ch4_compare(bench, scale);
+    for (label, rs) in ch4_compare_rows(scale) {
         let p: Vec<f64> = rs.iter().map(|r| r.cost.penalty_cycles() as f64).collect();
-        t.push_row(bench.name(), normalize_to_first(&p));
+        t.push_row(label, normalize_to_first(&p));
     }
     t
 }
@@ -449,10 +464,9 @@ pub fn fig_4_11(scale: Scale) -> ResultTable {
         "Performance normalized to Razor (higher is better)",
         ["Razor", "OCST", "Trident"],
     );
-    for bench in ALL_BENCHMARKS {
-        let rs = ch4_compare(bench, scale);
+    for (label, rs) in ch4_compare_rows(scale) {
         let p: Vec<f64> = rs.iter().map(SimResult::performance).collect();
-        t.push_row(bench.name(), normalize_to_first(&p));
+        t.push_row(label, normalize_to_first(&p));
     }
     t
 }
@@ -466,10 +480,9 @@ pub fn fig_4_12(scale: Scale) -> ResultTable {
         ["Razor", "OCST", "Trident"],
     );
     let model = EnergyModel::ntc_core();
-    for bench in ALL_BENCHMARKS {
-        let rs = ch4_compare(bench, scale);
+    for (label, rs) in ch4_compare_rows(scale) {
         let p: Vec<f64> = rs.iter().map(|r| r.energy(model).efficiency).collect();
-        t.push_row(bench.name(), normalize_to_first(&p));
+        t.push_row(label, normalize_to_first(&p));
     }
     t
 }

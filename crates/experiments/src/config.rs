@@ -15,7 +15,7 @@ use ntc_netlist::buffer_insertion::insert_hold_buffers;
 use ntc_netlist::generators::alu::Alu;
 use ntc_netlist::Netlist;
 use ntc_timing::{ClockSpec, IncrementalTiming, ScreenBounds, StaticTiming};
-use ntc_varmodel::{ChipSignature, Corner, VariationParams};
+use ntc_varmodel::{ChipSignature, Corner, OperatingPoint, VariationParams};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -58,6 +58,63 @@ pub fn set_incr_disabled(disabled: bool) {
 pub fn incr_disabled() -> bool {
     INCR_DISABLED.load(Ordering::Relaxed)
         || std::env::var("NTC_INCR").is_ok_and(|v| v == "off" || v == "0")
+}
+
+/// Process-wide voltage roster for the grid-backed experiments: which
+/// operating points the benchmark grids sweep. Empty means "unset" —
+/// [`voltages`] then consults `NTC_VDD` and finally defaults to the NTC
+/// corner alone, which keeps every legacy single-corner golden
+/// byte-identical.
+static VOLTAGES: Mutex<Vec<OperatingPoint>> = Mutex::new(Vec::new());
+
+/// Select the operating points grid-backed experiments sweep — the
+/// `repro --vdd` escape hatch. An empty list restores the default
+/// (NTC only / `NTC_VDD`).
+pub fn set_voltages(points: Vec<OperatingPoint>) {
+    *VOLTAGES.lock().expect("voltage roster poisoned") = points;
+}
+
+/// The voltage axis for grid-backed experiments: the list given to
+/// [`set_voltages`], else the `NTC_VDD` environment variable (a
+/// comma-separated list of roster names, bare voltages, or the
+/// `ntc`/`stc` aliases), else the NTC corner alone.
+///
+/// # Panics
+///
+/// Panics when `NTC_VDD` is set but names a voltage outside the roster —
+/// a misconfigured sweep must not silently run at the default supply.
+pub fn voltages() -> Vec<OperatingPoint> {
+    {
+        let set = VOLTAGES.lock().expect("voltage roster poisoned");
+        if !set.is_empty() {
+            return set.clone();
+        }
+    }
+    match std::env::var("NTC_VDD") {
+        Ok(list) => parse_voltages(&list).unwrap_or_else(|e| panic!("NTC_VDD: {e}")),
+        Err(_) => vec![OperatingPoint::NTC],
+    }
+}
+
+/// Parse a comma-separated voltage list (`"0.45,v0.60,stc"`) into roster
+/// points, deduplicating while preserving first-mention order.
+///
+/// # Errors
+///
+/// Returns the offending entry's [`ntc_varmodel::ParsePointError`] text,
+/// or a message for an entirely empty list.
+pub fn parse_voltages(list: &str) -> Result<Vec<OperatingPoint>, String> {
+    let mut out = Vec::new();
+    for item in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let p = OperatingPoint::parse(item).map_err(|e| e.to_string())?;
+        if !out.contains(&p) {
+            out.push(p);
+        }
+    }
+    if out.is_empty() {
+        return Err("empty voltage list".to_owned());
+    }
+    Ok(out)
 }
 
 /// How much work an experiment run does.
@@ -186,8 +243,9 @@ struct ChipBlank {
 /// Memo key: everything [`build_oracle`] folds into the chip. `vdd` and
 /// `hold_frac` enter as bit patterns so custom corners (the voltage
 /// sweep) and regimes hash exactly; the hold fraction shapes the buffered
-/// netlist variant.
-type ChipKey = (u64, &'static str, u64, bool, u64);
+/// netlist variant. The final component is the selective-hardening
+/// count (0 = the stock chip).
+type ChipKey = (u64, &'static str, u64, bool, u64, u64);
 
 /// Two-level memo: the outer mutex only guards the key→cell map, while
 /// each chip builds inside its own `OnceLock` — so two workers asking for
@@ -198,66 +256,64 @@ type ChipCell = Arc<OnceLock<Arc<ChipBlank>>>;
 static CHIP_BLANKS: OnceLock<Mutex<HashMap<ChipKey, ChipCell>>> = OnceLock::new();
 
 /// Everything that is a pure function of one netlist *topology* — the
-/// per-chip memo key minus the fabrication seed. All chips of a sweep
-/// share the topology, so the netlist variant, its nominal critical
-/// delay, and (crucially) the retained incremental re-timing engine are
-/// hoisted here: chip→chip the engine delta-propagates arrivals and
-/// screen bounds instead of re-analyzing from scratch.
+/// per-chip memo key minus the fabrication seed and the supply. All
+/// chips of a sweep share the topology, so the netlist variant, its
+/// per-corner nominal critical delays, and (crucially) the retained
+/// incremental re-timing engine are hoisted here: chip→chip *and*
+/// operating-point→operating-point the engine delta-propagates arrivals
+/// and screen bounds instead of re-analyzing from scratch.
 struct TopoState {
     netlist: Netlist,
-    /// Nominal (PV-free) critical delay of this netlist variant.
-    nominal_critical_ps: f64,
+    /// Nominal (PV-free) critical delay of this netlist variant, per
+    /// supply voltage (keyed by the corner's vdd bit pattern). Filled
+    /// lazily as operating points first appear on the sweep axis.
+    nominal: Mutex<HashMap<u64, f64>>,
     /// Retained arrival + screen state of the most recently re-timed
     /// chip of this topology. Chips of one topology serialize here;
     /// different topologies re-time concurrently.
     engine: Mutex<IncrementalTiming>,
 }
 
-/// Topology memo key: [`ChipKey`] without the seed.
-type TopoKey = (u64, &'static str, bool, u64);
+/// Topology memo key: the netlist variant is corner-free (see
+/// [`build_topology`]), so only the variant selector and the hold
+/// fraction that shapes buffer insertion remain.
+type TopoKey = (bool, u64);
 
 type TopoCell = Arc<OnceLock<Arc<TopoState>>>;
 
 static TOPOLOGIES: OnceLock<Mutex<HashMap<TopoKey, TopoCell>>> = OnceLock::new();
 
-/// Build (once) the netlist variant shared by every chip of a topology,
-/// plus its nominal critical delay. The bare die's nominal critical delay
-/// anchors every clock of the study (buffer padding must not slow the
-/// target clock), so it is computed first even for buffered variants.
-fn build_topology(corner: Corner, buffered: bool, regime: ClockRegime) -> (Netlist, f64) {
+/// Build (once) the netlist variant shared by every chip of a topology.
+///
+/// The netlist is **corner-free**: design-time hold fixing sees the cell
+/// library's nominal delays, so the padding targets live in the nominal
+/// design frame regardless of the supply the die later runs at. They are
+/// derived here from the NTC corner's timing and divided back by its
+/// delay factor — the same ratio every corner would give mathematically,
+/// pinned to one corner so the division is bit-for-bit reproducible and
+/// the whole voltage axis shares a single netlist (and one re-timing
+/// engine).
+fn build_topology(buffered: bool, regime: ClockRegime) -> Netlist {
     let alu = Alu::new(ntc_isa::ARCH_WIDTH);
-    let bare_nominal = ChipSignature::nominal(alu.netlist(), corner);
+    if !buffered {
+        return alu.into_netlist();
+    }
+    // Design-time hold fixing pads every short path up to the constraint
+    // using nominal delays within the setup slack; the resulting buffer
+    // chains dominate the padded paths, which is precisely what
+    // post-silicon choke buffers exploit.
+    let frame = Corner::NTC;
+    let bare_nominal = ChipSignature::nominal(alu.netlist(), frame);
     let bare_critical_ps =
         StaticTiming::analyze(alu.netlist(), &bare_nominal).critical_delay_ps(alu.netlist());
-    let netlist = if buffered {
-        // Design-time hold fixing pads every short path up to the
-        // constraint using nominal delays within the setup slack; the
-        // resulting buffer chains dominate the padded paths, which is
-        // precisely what post-silicon choke buffers exploit. Targets are
-        // expressed in the design-time (nominal STC) delay frame.
-        let hold_stc_frame = bare_critical_ps * regime.hold_frac / corner.delay_factor();
-        let setup_stc_frame = bare_critical_ps * 0.72 / corner.delay_factor();
-        let (padded, _, _) = insert_hold_buffers(alu.netlist(), hold_stc_frame, setup_stc_frame);
-        padded
-    } else {
-        alu.into_netlist()
-    };
-    let nominal_critical_ps = if buffered {
-        let nominal = ChipSignature::nominal(&netlist, corner);
-        StaticTiming::analyze(&netlist, &nominal).critical_delay_ps(&netlist)
-    } else {
-        bare_critical_ps
-    };
-    (netlist, nominal_critical_ps)
+    let hold_design_frame = bare_critical_ps * regime.hold_frac / frame.delay_factor();
+    let setup_design_frame = bare_critical_ps * 0.72 / frame.delay_factor();
+    let (padded, _, _) = insert_hold_buffers(alu.netlist(), hold_design_frame, setup_design_frame);
+    padded
 }
 
-fn topo_state(corner: Corner, buffered: bool, regime: ClockRegime) -> Arc<TopoState> {
-    let key: TopoKey = (
-        corner.vdd.to_bits(),
-        corner.name,
-        buffered,
-        regime.hold_frac.to_bits(),
-    );
+fn topo_state(buffered: bool, regime: ClockRegime) -> Arc<TopoState> {
+    let key: TopoKey = (buffered, regime.hold_frac.to_bits());
     let cell = {
         let mut map = TOPOLOGIES
             .get_or_init(|| Mutex::new(HashMap::new()))
@@ -266,31 +322,52 @@ fn topo_state(corner: Corner, buffered: bool, regime: ClockRegime) -> Arc<TopoSt
         map.entry(key).or_default().clone()
     };
     cell.get_or_init(|| {
-        let (netlist, nominal_critical_ps) = build_topology(corner, buffered, regime);
         Arc::new(TopoState {
-            netlist,
-            nominal_critical_ps,
+            netlist: build_topology(buffered, regime),
+            nominal: Mutex::new(HashMap::new()),
             engine: Mutex::new(IncrementalTiming::new()),
         })
     })
     .clone()
 }
 
+/// The nominal (PV-free) critical delay of a topology at one supply,
+/// computed on first request per corner and memoized — the anchor every
+/// clock of a study hangs off.
+fn topo_nominal(topo: &TopoState, corner: Corner) -> f64 {
+    let mut map = topo.nominal.lock().expect("nominal memo poisoned");
+    *map.entry(corner.vdd.to_bits()).or_insert_with(|| {
+        let nominal = ChipSignature::nominal(&topo.netlist, corner);
+        StaticTiming::analyze(&topo.netlist, &nominal).critical_delay_ps(&topo.netlist)
+    })
+}
+
 fn variation_params(corner: Corner) -> VariationParams {
-    if corner.name == "STC" {
+    // Variation amplification is a near-threshold effect: points in the
+    // upper part of the roster behave like the super-threshold corner
+    // (same policy the voltage-sweep extension applies to its custom
+    // corners).
+    if corner.vdd > 0.7 {
         VariationParams::stc()
     } else {
         VariationParams::ntc()
     }
 }
 
-fn chip_blank(corner: Corner, seed: u64, buffered: bool, regime: ClockRegime) -> Arc<ChipBlank> {
+fn chip_blank(
+    corner: Corner,
+    seed: u64,
+    buffered: bool,
+    regime: ClockRegime,
+    hardened: usize,
+) -> Arc<ChipBlank> {
     let key: ChipKey = (
         corner.vdd.to_bits(),
         corner.name,
         seed,
         buffered,
         regime.hold_frac.to_bits(),
+        hardened as u64,
     );
     let cell = {
         let mut map = CHIP_BLANKS
@@ -300,13 +377,32 @@ fn chip_blank(corner: Corner, seed: u64, buffered: bool, regime: ClockRegime) ->
         map.entry(key).or_default().clone()
     };
     cell.get_or_init(|| {
-        let topo = topo_state(corner, buffered, regime);
-        let signature =
+        let topo = topo_state(buffered, regime);
+        let nominal_critical_ps = topo_nominal(&topo, corner);
+        let mut signature =
             ChipSignature::fabricate(&topo.netlist, corner, variation_params(corner), seed);
+        if hardened > 0 {
+            // Selective hardening: the top-k slowest choke gates (by
+            // delay multiplier, slowest first; stable on index for ties)
+            // are de-rated to their nominal delay, modeling upsized or
+            // body-biased cells at exactly those sites.
+            let mut slow = signature.slow_choke_gates();
+            slow.sort_by(|&a, &b| {
+                signature
+                    .multiplier(b)
+                    .partial_cmp(&signature.multiplier(a))
+                    .expect("finite multipliers")
+            });
+            slow.truncate(hardened);
+            signature.inject_choke(&slow, 1.0);
+        }
         // One static analysis per chip, hoisted here from the per-call
         // accessors — and for every chip of a topology after the first,
-        // not even that: the retained engine re-times the chip→chip delay
-        // delta, updating arrivals and screen tables in place. Both paths
+        // not even that: the retained engine re-times the delay delta,
+        // chip→chip and operating-point→operating-point alike (the
+        // voltage axis shares the topology, so a supply move is just
+        // another delta), updating arrivals and screen tables in place.
+        // Both paths
         // are bit-identical (the engine recomputes through the exact same
         // per-gate folds), so `--no-incr` only changes the cost.
         let (static_critical_ps, screen) = if incr_disabled() {
@@ -333,7 +429,7 @@ fn chip_blank(corner: Corner, seed: u64, buffered: bool, regime: ClockRegime) ->
             netlist: topo.netlist.clone(),
             signature,
             delays: SharedDelayCache::default(),
-            nominal_critical_ps: topo.nominal_critical_ps,
+            nominal_critical_ps,
             static_critical_ps,
             screen,
         })
@@ -363,7 +459,28 @@ fn chip_blank(corner: Corner, seed: u64, buffered: bool, regime: ClockRegime) ->
 /// chip's conservative timing screen (armed per run at the run's own
 /// clock by `run_scheme`/`profile_errors`).
 pub fn build_oracle(corner: Corner, seed: u64, buffered: bool, regime: ClockRegime) -> TagDelayOracle {
-    let blank = chip_blank(corner, seed, buffered, regime);
+    oracle_from_blank(chip_blank(corner, seed, buffered, regime, 0))
+}
+
+/// [`build_oracle`] for a selectively-hardened variant of the same chip:
+/// fabrication is identical, then the `top_k` slowest choke gates are
+/// de-rated to their nominal delay before static analysis — the
+/// `harden-choke` ablation's what-if silicon. Hardened variants are
+/// memoized alongside the stock blanks (distinct memo key), so they
+/// share nothing with — and never perturb — the stock chip's delay
+/// tables.
+pub fn build_hardened_oracle(
+    corner: Corner,
+    seed: u64,
+    buffered: bool,
+    regime: ClockRegime,
+    top_k: usize,
+) -> TagDelayOracle {
+    assert!(top_k > 0, "a hardened chip de-rates at least one gate");
+    oracle_from_blank(chip_blank(corner, seed, buffered, regime, top_k))
+}
+
+fn oracle_from_blank(blank: Arc<ChipBlank>) -> TagDelayOracle {
     let oracle = TagDelayOracle::new(
         blank.netlist.clone(),
         blank.signature.clone(),
@@ -419,10 +536,65 @@ mod tests {
     }
 
     #[test]
+    fn voltage_lists_parse_dedup_and_reject() {
+        let pts = parse_voltages("0.45, v0.60, stc, ntc, 0.60").unwrap();
+        assert_eq!(
+            pts,
+            vec![
+                OperatingPoint::NTC,
+                OperatingPoint::parse("v0.60").unwrap(),
+                OperatingPoint::STC,
+            ]
+        );
+        assert!(parse_voltages("0.62").unwrap_err().contains("v0.45"));
+        assert!(parse_voltages(" , ").unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn voltage_axis_defaults_to_ntc_and_honors_overrides() {
+        // Unset (and no NTC_VDD in the test environment): NTC only.
+        if std::env::var("NTC_VDD").is_err() {
+            assert_eq!(voltages(), vec![OperatingPoint::NTC]);
+        }
+        let sweep = vec![OperatingPoint::NTC, OperatingPoint::STC];
+        set_voltages(sweep.clone());
+        assert_eq!(voltages(), sweep);
+        set_voltages(Vec::new());
+    }
+
+    #[test]
+    fn nominal_critical_delay_shrinks_with_supply() {
+        // The per-corner nominal memo must order the roster the way the
+        // alpha-power law does: higher supply, faster logic.
+        let topo = topo_state(false, CH3_REGIME);
+        let ntc = topo_nominal(&topo, OperatingPoint::NTC.corner());
+        let mid = topo_nominal(&topo, OperatingPoint::parse("v0.60").unwrap().corner());
+        let stc = topo_nominal(&topo, OperatingPoint::STC.corner());
+        assert!(ntc > mid && mid > stc, "{ntc} > {mid} > {stc}");
+        // Memoized: the second read is the same f64 to the bit.
+        assert_eq!(ntc.to_bits(), topo_nominal(&topo, Corner::NTC).to_bits());
+    }
+
+    #[test]
     fn buffered_oracle_has_more_gates() {
         let plain = build_oracle(Corner::NTC, 1, false, CH4_REGIME);
         let buffered = build_oracle(Corner::NTC, 1, true, CH4_REGIME);
         assert!(buffered.netlist().logic_gate_count() > plain.netlist().logic_gate_count());
+    }
+
+    #[test]
+    fn hardened_chips_are_distinct_and_no_slower() {
+        let stock = build_oracle(Corner::NTC, 7171, false, CH4_REGIME);
+        let hard = build_hardened_oracle(Corner::NTC, 7171, false, CH4_REGIME, 8);
+        // De-rating gates to nominal can only shrink static timing.
+        assert!(hard.static_critical_delay_ps() <= stock.static_critical_delay_ps());
+        // Distinct memo entries: the hardened blank must not have
+        // replaced the stock chip's.
+        let stock_again = build_oracle(Corner::NTC, 7171, false, CH4_REGIME);
+        assert_eq!(
+            stock_again.static_critical_delay_ps(),
+            stock.static_critical_delay_ps()
+        );
     }
 
     #[test]

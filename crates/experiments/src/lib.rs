@@ -12,11 +12,13 @@
 //! * [`ch4`] — the Trident study (Figs. 4.2–4.4, 4.8–4.12, §4.5.7);
 //! * [`ablation`] — ablations over the design choices DESIGN.md calls out.
 //!
-//! Grid-shaped runners (a scheme roster compared over benchmarks × chips)
-//! are expressed as [`scenario::GridSpec`]s and executed by
-//! [`scenario::run_grid`], which drives the registered
+//! Grid-shaped runners (a scheme roster compared over benchmarks × chips
+//! × operating points) are expressed as [`scenario::GridSpec`]s and
+//! executed by [`scenario::run_grid`], which drives the registered
 //! [`ntc_core::scenario::SchemeSpec`]s through the parallel sweep engine
-//! and folds per benchmark with one shared accumulator.
+//! and folds per (benchmark, voltage) row with one shared accumulator.
+//! The supply-voltage axis defaults to NTC and is widened globally with
+//! [`config::set_voltages`] (the `repro --vdd` flag / `NTC_VDD` env var).
 //!
 //! # Examples
 //!
@@ -42,15 +44,18 @@ pub mod scenario;
 pub mod table;
 
 pub use cache::{CacheStats, MemoLru};
-pub use config::{build_oracle, normalize_to_first, ClockRegime, Scale, CH3_REGIME, CH4_REGIME};
+pub use config::{
+    build_hardened_oracle, build_oracle, normalize_to_first, parse_voltages, set_voltages,
+    voltages, ClockRegime, Scale, CH3_REGIME, CH4_REGIME,
+};
 pub use report::{Manifest, RunRecord};
 pub use runner::{
     set_jobs, sweep, sweep_catching, sweep_over, take_stats, take_sweep_failures, IndexFailure,
     SweepStats,
 };
 pub use scenario::{
-    run_grid, run_grid_traced, run_grid_uncached, screen_run_order, GridResult, GridSpec,
-    GridTier, Regime,
+    row_label, run_grid, run_grid_traced, run_grid_uncached, screen_run_order, take_voltage_cells,
+    GridResult, GridSpec, GridTier, Regime,
 };
 pub use table::ResultTable;
 

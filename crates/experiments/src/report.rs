@@ -28,8 +28,9 @@ use std::time::Duration;
 /// Manifest format identifier; bump on breaking shape changes.
 /// (`/2` added the per-record `cache` counters and `resumed` marker;
 /// `/3` added the oracle screen counters; `/4` the incremental-STA
-/// counters `sta_full` / `sta_incremental` / `incr_gates_touched`.)
-pub const MANIFEST_SCHEMA: &str = "ntc-repro-manifest/4";
+/// counters `sta_full` / `sta_incremental` / `incr_gates_touched`;
+/// `/5` the per-operating-point `voltages` cell counters.)
+pub const MANIFEST_SCHEMA: &str = "ntc-repro-manifest/5";
 
 /// Telemetry of one experiment run inside a `repro` invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +51,11 @@ pub struct RunRecord {
     pub oracle: OracleStats,
     /// Grid disk-cache counters drained after this experiment.
     pub cache: CacheStats,
+    /// Grid cells *computed* per operating point during this experiment
+    /// (`(point name, count)`, roster order, zero counts omitted) —
+    /// memo and disk hits do not count, mirroring the oracle/cache
+    /// counter semantics. Empty for non-grid experiments.
+    pub voltages: Vec<(String, u64)>,
     /// Per-index panics caught by `runner::sweep_catching` during this
     /// experiment (empty for strict sweeps, which fail the whole record).
     pub sweep_failures: Vec<IndexFailure>,
@@ -104,6 +110,15 @@ impl RunRecord {
                 s.push(',');
             }
             let _ = write!(s, "\"{name}\":{value}");
+        }
+        s.push('}');
+        s.push(',');
+        s.push_str("\"voltages\":{");
+        for (i, (name, count)) in self.voltages.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{name}\":{count}");
         }
         s.push('}');
         s.push(',');
@@ -185,6 +200,15 @@ impl RunRecord {
             corrupt_evictions: u64_of(cache_obj, "corrupt_evictions")?,
             bytes_written: u64_of(cache_obj, "bytes_written")?,
         };
+        let voltages = match v.get("voltages") {
+            Some(obj @ Json::Obj(members)) => members
+                .iter()
+                .map(|(name, _)| {
+                    Ok::<(String, u64), String>((name.clone(), u64_of(obj, name)?))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("record member \"voltages\" missing or not an object".to_owned()),
+        };
         let mut sweep_failures = Vec::new();
         for f in v
             .get("sweep_failures")
@@ -227,6 +251,7 @@ impl RunRecord {
             },
             oracle,
             cache,
+            voltages,
             sweep_failures,
             rows: usize::try_from(u64_of(v, "rows")?)
                 .map_err(|_| "record member \"rows\" out of range".to_owned())?,
@@ -821,6 +846,7 @@ mod tests {
                 corrupt_evictions: 0,
                 bytes_written: 4096,
             },
+            voltages: vec![("v0.45".to_owned(), 30), ("v0.60".to_owned(), 30)],
             sweep_failures: Vec::new(),
             rows: 6,
             csv: Some(PathBuf::from("target/repro/x.csv")),
@@ -841,6 +867,9 @@ mod tests {
             parsed.get("oracle").unwrap().get("local_hits").unwrap().as_f64(),
             Some(40.0)
         );
+        let volts = parsed.get("voltages").unwrap();
+        assert_eq!(volts.keys(), Some(vec!["v0.45", "v0.60"]));
+        assert_eq!(volts.get("v0.60").unwrap().as_u64(), Some(30));
         assert_eq!(parsed.get("error"), Some(&Json::Null));
     }
 

@@ -1,19 +1,22 @@
 //! The grid driver of the scenario engine: expand (benchmarks × chips ×
-//! schemes) into cells, run them through the deterministic parallel sweep,
-//! and fold per benchmark with [`SimAccumulator`].
+//! schemes × operating points) into cells, run them through the
+//! deterministic parallel sweep, and fold per (benchmark, operating
+//! point) with [`SimAccumulator`].
 //!
 //! A [`GridSpec`] is the complete, hashable description of one comparison
 //! experiment — which benchmarks, how many chips, which registered schemes
-//! ([`SchemeSpec`]), which clocking [`Regime`], and the seed policy. All
-//! figure runners that compare schemes over a (benchmark × chip) grid go
-//! through [`run_grid`], which replaces the per-chapter memo caches with
-//! one cache keyed by the spec itself: two figures charting different
-//! columns of the same grid share one sweep automatically.
+//! ([`SchemeSpec`]), which supply voltages ([`OperatingPoint`]), which
+//! clocking [`Regime`], and the seed policy. All figure runners that
+//! compare schemes over a (benchmark × chip) grid go through [`run_grid`],
+//! which replaces the per-chapter memo caches with one cache keyed by the
+//! spec itself: two figures charting different columns of the same grid
+//! share one sweep automatically.
 //!
 //! # Canonical seed policy
 //!
 //! * chip `c` of a grid is fabricated with seed `chip_seed_base + c` — the
-//!   same dice across every benchmark and scheme of the grid;
+//!   same dice across every benchmark, scheme, *and voltage* of the grid
+//!   (the voltage axis re-runs the same silicon at a different supply);
 //! * every benchmark trace is generated with the grid's single
 //!   `trace_seed` — schemes within a grid see identical instruction
 //!   streams.
@@ -21,18 +24,20 @@
 //! # Fold semantics
 //!
 //! Cells run in parallel but fold in grid index order (chips ascending
-//! within each benchmark), so every per-benchmark aggregate — including
-//! the floating-point accuracy and stretch sums — is bit-identical to the
-//! sequential fold at any `--jobs` count (pinned by the determinism test
-//! in `tests/scenario_grid.rs`).
+//! within each (benchmark, voltage) group, voltages within each
+//! benchmark), so every per-row aggregate — including the floating-point
+//! accuracy and stretch sums — is bit-identical to the sequential fold at
+//! any `--jobs` count (pinned by the determinism test in
+//! `tests/scenario_grid.rs`).
 
 use crate::cache::{self, MemoLru};
-use crate::config::{build_oracle, ClockRegime, CH3_REGIME, CH4_REGIME};
+use crate::config::{build_hardened_oracle, build_oracle, ClockRegime, CH3_REGIME, CH4_REGIME};
 use crate::runner::sweep_over;
 use ntc_core::scenario::{ChipContext, SchemeSpec, SimAccumulator};
 use ntc_core::sim::{run_scheme, SimResult};
+use ntc_core::tag_delay::TagDelayOracle;
 use ntc_pipeline::Pipeline;
-use ntc_varmodel::Corner;
+use ntc_varmodel::OperatingPoint;
 use ntc_workload::{Benchmark, TraceGenerator};
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -74,16 +79,19 @@ impl Regime {
     }
 }
 
-/// Complete description of one (benchmarks × chips × schemes) comparison
-/// grid. Hashable: the spec itself keys the global grid cache.
+/// Complete description of one (benchmarks × chips × schemes × voltages)
+/// comparison grid. Hashable: the spec itself keys the global grid cache.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct GridSpec {
     /// Benchmarks to run, in output row order.
     pub benchmarks: Vec<Benchmark>,
-    /// Fabricated chips averaged per benchmark.
+    /// Fabricated chips averaged per (benchmark, voltage) row.
     pub chips: usize,
     /// Registered schemes to compare, in output column order.
     pub schemes: Vec<SchemeSpec>,
+    /// Operating points swept per benchmark — the voltage axis. Legacy
+    /// single-corner grids pass `vec![OperatingPoint::NTC]`.
+    pub voltages: Vec<OperatingPoint>,
     /// Which evaluation regime clocks the grid.
     pub regime: Regime,
     /// Chip `c` is fabricated with seed `chip_seed_base + c`.
@@ -96,10 +104,12 @@ pub struct GridSpec {
 
 impl GridSpec {
     /// A stable canonical byte encoding of the spec: every field as
-    /// length-prefixed registry names or little-endian integers, in
-    /// declaration order. This — not Rust's `Hash`, whose output is free
-    /// to change between compiler releases — is what the on-disk cache
-    /// key hashes, so artifacts stay addressable across toolchains.
+    /// length-prefixed registry names or little-endian integers. This —
+    /// not Rust's `Hash`, whose output is free to change between compiler
+    /// releases — is what the on-disk cache key hashes, so artifacts stay
+    /// addressable across toolchains. The voltage axis is appended after
+    /// the legacy fields; the cache schema tag was bumped alongside it,
+    /// so pre-axis artifacts self-invalidate as plain misses.
     pub fn canonical_bytes(&self) -> Vec<u8> {
         fn push_u64(out: &mut Vec<u8>, v: u64) {
             out.extend_from_slice(&v.to_le_bytes());
@@ -122,16 +132,51 @@ impl GridSpec {
         push_u64(&mut out, self.chip_seed_base);
         push_u64(&mut out, self.trace_seed);
         push_u64(&mut out, self.cycles as u64);
+        push_u64(&mut out, self.voltages.len() as u64);
+        for v in &self.voltages {
+            push_str(&mut out, v.name());
+        }
         out
+    }
+
+    /// The (benchmark × operating point) row groups of this grid,
+    /// bench-major (every voltage of one benchmark before the next
+    /// benchmark) — the canonical row order of the folded result.
+    pub fn row_groups(&self) -> Vec<(Benchmark, OperatingPoint)> {
+        self.benchmarks
+            .iter()
+            .flat_map(|&b| self.voltages.iter().map(move |&v| (b, v)))
+            .collect()
+    }
+
+    /// Whether this grid sweeps more than one operating point — the
+    /// condition under which row labels carry a voltage suffix (see
+    /// [`row_label`]). Single-voltage grids keep their legacy labels, so
+    /// existing CSV goldens stay byte-identical.
+    pub fn multi_voltage(&self) -> bool {
+        self.voltages.len() > 1
     }
 }
 
-/// The folded output of [`run_grid`]: per benchmark, one
-/// [`SimAccumulator`] per scheme (in the spec's scheme order).
+/// Canonical label of one (benchmark, operating point) grid row: the bare
+/// benchmark name on single-voltage grids, `bench @ vX.XX` once the
+/// voltage axis is real. Both the batch CSV writers and the serve
+/// daemon's table encoder go through here, which is what keeps their
+/// bytes identical.
+pub fn row_label(bench: Benchmark, point: OperatingPoint, multi_voltage: bool) -> String {
+    if multi_voltage {
+        format!("{} @ {}", bench.name(), point.name())
+    } else {
+        bench.name().to_owned()
+    }
+}
+
+/// The folded output of [`run_grid`]: per (benchmark, operating point)
+/// row, one [`SimAccumulator`] per scheme (in the spec's scheme order).
 #[derive(Debug, PartialEq)]
 pub struct GridResult {
     schemes: Vec<SchemeSpec>,
-    per_bench: Vec<(Benchmark, Vec<SimAccumulator>)>,
+    rows: Vec<(Benchmark, OperatingPoint, Vec<SimAccumulator>)>,
 }
 
 impl GridResult {
@@ -140,9 +185,9 @@ impl GridResult {
     /// are [`run_grid_uncached`] and a verified cache artifact.
     pub(crate) fn from_parts(
         schemes: Vec<SchemeSpec>,
-        per_bench: Vec<(Benchmark, Vec<SimAccumulator>)>,
+        rows: Vec<(Benchmark, OperatingPoint, Vec<SimAccumulator>)>,
     ) -> GridResult {
-        GridResult { schemes, per_bench }
+        GridResult { schemes, rows }
     }
 
     /// The grid's schemes, in column order.
@@ -150,22 +195,58 @@ impl GridResult {
         &self.schemes
     }
 
-    /// Per-benchmark accumulator rows, in the spec's benchmark order.
-    pub fn per_bench(&self) -> &[(Benchmark, Vec<SimAccumulator>)] {
-        &self.per_bench
+    /// Accumulator rows in canonical order: the spec's benchmark order,
+    /// voltages ascending-as-specified within each benchmark.
+    pub fn rows(&self) -> &[(Benchmark, OperatingPoint, Vec<SimAccumulator>)] {
+        &self.rows
     }
 
-    /// One benchmark's accumulators, in scheme order.
+    /// The distinct operating points of the grid, in first-occurrence
+    /// row order.
+    pub fn voltages(&self) -> Vec<OperatingPoint> {
+        let mut out = Vec::new();
+        for &(_, v, _) in &self.rows {
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+        out
+    }
+
+    /// One benchmark's accumulators, in scheme order — the legacy
+    /// single-voltage accessor the per-chapter figures chart through.
     ///
     /// # Panics
     ///
-    /// Panics if the benchmark was not part of the grid.
+    /// Panics if the benchmark was not part of the grid, or if the grid
+    /// swept more than one operating point (use [`GridResult::cell`]).
     pub fn benchmark(&self, bench: Benchmark) -> &[SimAccumulator] {
-        self.per_bench
+        let mut matches = self.rows.iter().filter(|(b, _, _)| *b == bench);
+        let first = matches
+            .next()
+            .unwrap_or_else(|| panic!("benchmark {} not in this grid", bench.name()));
+        assert!(
+            matches.next().is_none(),
+            "benchmark {} spans multiple operating points; address a (benchmark, voltage) cell",
+            bench.name()
+        );
+        &first.2
+    }
+
+    /// One (benchmark, operating point) row's accumulators, in scheme
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row was not part of the grid.
+    pub fn cell(&self, bench: Benchmark, point: OperatingPoint) -> &[SimAccumulator] {
+        self.rows
             .iter()
-            .find(|(b, _)| *b == bench)
-            .map(|(_, accs)| accs.as_slice())
-            .unwrap_or_else(|| panic!("benchmark {} not in this grid", bench.name()))
+            .find(|(b, v, _)| *b == bench && *v == point)
+            .map(|(_, _, accs)| accs.as_slice())
+            .unwrap_or_else(|| {
+                panic!("row ({}, {}) not in this grid", bench.name(), point.name())
+            })
     }
 }
 
@@ -229,17 +310,25 @@ pub fn screen_run_order(schemes: &[SchemeSpec]) -> Vec<usize> {
     order
 }
 
-/// One (benchmark, chip) cell: build the chip's oracle(s), derive the
-/// regime clocks from the *bare* die's nominal critical delay (the
-/// canonical clock policy — buffer padding must not slow the target
-/// clock), and run every scheme of the spec over one shared trace.
-/// Schemes execute in [`screen_run_order`]; the returned results are in
-/// spec order regardless.
-fn run_cell(spec: &GridSpec, bench: Benchmark, chip: usize, need_buffered: bool) -> Vec<SimResult> {
+/// One (benchmark, operating point, chip) cell: build the chip's
+/// oracle(s) at the cell's supply, derive the regime clocks from the
+/// *bare* die's nominal critical delay at that supply (the canonical
+/// clock policy — buffer padding must not slow the target clock), and run
+/// every scheme of the spec over one shared trace. Schemes execute in
+/// [`screen_run_order`]; the returned results are in spec order
+/// regardless.
+fn run_cell(
+    spec: &GridSpec,
+    bench: Benchmark,
+    point: OperatingPoint,
+    chip: usize,
+    need_buffered: bool,
+) -> Vec<SimResult> {
     let regime = spec.regime.params();
     let seed = spec.chip_seed_base + chip as u64;
-    let mut bare = build_oracle(Corner::NTC, seed, false, regime);
-    let mut buffered = need_buffered.then(|| build_oracle(Corner::NTC, seed, true, regime));
+    let corner = point.corner();
+    let mut bare = build_oracle(corner, seed, false, regime);
+    let mut buffered = need_buffered.then(|| build_oracle(corner, seed, true, regime));
     let nominal = bare.nominal_critical_delay_ps();
     let clock = regime.clock(nominal);
     let tdc_clock = regime.tdc_clock(nominal);
@@ -247,11 +336,34 @@ fn run_cell(spec: &GridSpec, bench: Benchmark, chip: usize, need_buffered: bool)
     // chip property (memoized with the blank), not a per-scheme one.
     let bare_static = bare.static_critical_delay_ps();
     let buffered_static = buffered.as_ref().map(|o| o.static_critical_delay_ps());
+    // Selectively-hardened chip variants (the `harden-choke` ablation),
+    // built on first use per distinct top-k of the spec.
+    let mut hardened: Vec<(usize, TagDelayOracle)> = Vec::new();
     let trace = TraceGenerator::new(bench, spec.trace_seed).trace(spec.cycles);
     let mut results: Vec<Option<SimResult>> = vec![None; spec.schemes.len()];
     for i in screen_run_order(&spec.schemes) {
         let s = &spec.schemes[i];
-        let (oracle, static_critical) = if s.wants_buffered_netlist() {
+        let (oracle, static_critical) = if let Some(top_k) = s.hardened_top_k() {
+            let idx = match hardened.iter().position(|(k, _)| *k == top_k) {
+                Some(idx) => idx,
+                None => {
+                    hardened.push((
+                        top_k,
+                        build_hardened_oracle(
+                            corner,
+                            seed,
+                            s.wants_buffered_netlist(),
+                            regime,
+                            top_k,
+                        ),
+                    ));
+                    hardened.len() - 1
+                }
+            };
+            let o = &mut hardened[idx].1;
+            let static_critical = o.static_critical_delay_ps();
+            (o, static_critical)
+        } else if s.wants_buffered_netlist() {
             (
                 buffered.as_mut().expect("buffered oracle built on demand"),
                 buffered_static.expect("buffered oracle built on demand"),
@@ -264,6 +376,7 @@ fn run_cell(spec: &GridSpec, bench: Benchmark, chip: usize, need_buffered: bool)
             static_critical_delay_ps: static_critical,
             clock: scheme_clock,
             trace_len: trace.len(),
+            point,
         };
         let mut scheme = s.build(&ctx);
         results[i] = Some(run_scheme(
@@ -280,17 +393,48 @@ fn run_cell(spec: &GridSpec, bench: Benchmark, chip: usize, need_buffered: bool)
         .collect()
 }
 
+/// Per-voltage cell counters: how many grid cells were *computed* (not
+/// answered from a cache tier) at each roster point since the last
+/// [`take_voltage_cells`] drain. The repro harness folds the drained
+/// counts into each experiment's manifest record.
+static VOLTAGE_CELLS: Mutex<[u64; OperatingPoint::COUNT]> =
+    Mutex::new([0; OperatingPoint::COUNT]);
+
+/// Drain the per-voltage computed-cell counters: the nonzero roster
+/// points (ascending) with their counts, resetting all counters to zero.
+pub fn take_voltage_cells() -> Vec<(OperatingPoint, u64)> {
+    let mut counts = VOLTAGE_CELLS.lock().expect("voltage counters poisoned");
+    let drained: Vec<(OperatingPoint, u64)> = OperatingPoint::roster()
+        .into_iter()
+        .zip(counts.iter().copied())
+        .filter(|&(_, n)| n > 0)
+        .collect();
+    *counts = [0; OperatingPoint::COUNT];
+    drained
+}
+
 /// Run a grid without consulting or filling the cache: cells through
-/// [`sweep_over`], fold per benchmark in index order. This is the
-/// function the thread-count determinism test exercises.
+/// [`sweep_over`], fold per (benchmark, operating point) row in index
+/// order. This is the function the thread-count determinism test
+/// exercises.
 pub fn run_grid_uncached(spec: &GridSpec) -> GridResult {
     let need_buffered = spec.schemes.iter().any(SchemeSpec::wants_buffered_netlist);
-    let grid = expand(&spec.benchmarks, spec.chips);
-    let cells = sweep_over(&grid, |_, &(bench, chip)| {
-        run_cell(spec, bench, chip, need_buffered)
+    let groups = spec.row_groups();
+    let grid = expand(&groups, spec.chips);
+    let cells = sweep_over(&grid, |_, &((bench, point), chip)| {
+        run_cell(spec, bench, point, chip, need_buffered)
     });
-    let per_bench = fold_cells(
-        grid.iter().map(|&(b, _)| b),
+    {
+        let mut counts = VOLTAGE_CELLS.lock().expect("voltage counters poisoned");
+        for &((_, point), _) in &grid {
+            counts[OperatingPoint::roster()
+                .iter()
+                .position(|p| *p == point)
+                .expect("roster point")] += 1;
+        }
+    }
+    let rows = fold_cells(
+        grid.iter().map(|&(g, _)| g),
         cells,
         || vec![SimAccumulator::default(); spec.schemes.len()],
         |accs, results| {
@@ -301,7 +445,10 @@ pub fn run_grid_uncached(spec: &GridSpec) -> GridResult {
     );
     GridResult {
         schemes: spec.schemes.clone(),
-        per_bench,
+        rows: rows
+            .into_iter()
+            .map(|((b, v), accs)| (b, v, accs))
+            .collect(),
     }
 }
 
@@ -429,6 +576,7 @@ mod tests {
             benchmarks: vec![Benchmark::Mcf],
             chips: 1,
             schemes: vec![SchemeSpec::RazorCh3, SchemeSpec::DcsIcslt { entries: 32 }],
+            voltages: vec![OperatingPoint::NTC],
             regime: Regime::Ch3,
             chip_seed_base: 220,
             trace_seed: 7,
@@ -437,11 +585,49 @@ mod tests {
         let cached = run_grid(&spec);
         let fresh = run_grid_uncached(&spec);
         assert_eq!(cached.schemes(), fresh.schemes());
-        for ((b1, a1), (b2, a2)) in cached.per_bench().iter().zip(fresh.per_bench()) {
+        for ((b1, v1, a1), (b2, v2, a2)) in cached.rows().iter().zip(fresh.rows()) {
             assert_eq!(b1, b2);
+            assert_eq!(v1, v2);
             assert_eq!(a1, a2);
         }
         // A second cached call returns the same Arc.
         assert!(Arc::ptr_eq(&cached, &run_grid(&spec)));
+    }
+
+    #[test]
+    fn row_groups_are_bench_major_and_canonical_bytes_see_the_axis() {
+        let mid = OperatingPoint::parse("v0.60").unwrap();
+        let spec = GridSpec {
+            benchmarks: vec![Benchmark::Mcf, Benchmark::Gzip],
+            chips: 2,
+            schemes: vec![SchemeSpec::RazorCh3],
+            voltages: vec![OperatingPoint::NTC, mid],
+            regime: Regime::Ch3,
+            chip_seed_base: 1,
+            trace_seed: 2,
+            cycles: 100,
+        };
+        assert_eq!(
+            spec.row_groups(),
+            vec![
+                (Benchmark::Mcf, OperatingPoint::NTC),
+                (Benchmark::Mcf, mid),
+                (Benchmark::Gzip, OperatingPoint::NTC),
+                (Benchmark::Gzip, mid),
+            ]
+        );
+        assert!(spec.multi_voltage());
+        // The voltage list is part of the cache identity.
+        let mut other = spec.clone();
+        other.voltages = vec![OperatingPoint::NTC];
+        assert!(!other.multi_voltage());
+        assert_ne!(spec.canonical_bytes(), other.canonical_bytes());
+    }
+
+    #[test]
+    fn row_labels_suffix_only_multi_voltage_grids() {
+        let mid = OperatingPoint::parse("v0.60").unwrap();
+        assert_eq!(row_label(Benchmark::Mcf, OperatingPoint::NTC, false), "mcf");
+        assert_eq!(row_label(Benchmark::Mcf, mid, true), "mcf @ v0.60");
     }
 }

@@ -34,8 +34,9 @@ fn run(cmd: &mut Command) -> Output {
 #[test]
 fn list_enumerates_both_registries_exactly() {
     // `--list` is the discovery surface ci.sh gates on: its output must be
-    // exactly the experiment registry followed by the scheme registry —
-    // nothing runnable may be unlisted, nothing listed may be stale.
+    // exactly the experiment registry, then the scheme registry, then the
+    // operating-point roster — nothing runnable may be unlisted, nothing
+    // listed may be stale.
     let result = run(repro().arg("--list"));
     assert_eq!(result.status.code(), Some(0));
     let stdout = String::from_utf8(result.stdout).expect("utf8 stdout");
@@ -47,11 +48,16 @@ fn list_enumerates_both_registries_exactly() {
                 .iter()
                 .map(|s| format!("scheme {} ({})", s.name(), s.display_name())),
         )
+        .chain(
+            ntc_varmodel::OperatingPoint::roster()
+                .into_iter()
+                .map(|p| format!("vdd {} ({})", p.name(), p.display_name())),
+        )
         .collect();
     assert_eq!(
         stdout.lines().collect::<Vec<_>>(),
         expected.iter().map(String::as_str).collect::<Vec<_>>(),
-        "--list must mirror all_experiments() then SchemeSpec::roster()"
+        "--list must mirror all_experiments(), SchemeSpec::roster(), then the vdd roster"
     );
     // Every listed scheme name parses back through the registry.
     for line in stdout.lines().filter(|l| l.starts_with("scheme ")) {

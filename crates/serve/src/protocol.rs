@@ -18,6 +18,7 @@
 //! {"op":"experiment","id":"fig3.8","scale":"fast"}
 //! {"op":"grid","spec":{"benchmarks":["mcf"],"chips":1,
 //!   "schemes":["razor","dcs-icslt:32"],"regime":"ch3",
+//!   "vdd":["ntc","v0.60"],
 //!   "chip_seed_base":220,"trace_seed":7,"cycles":2000}}
 //! {"op":"stats"}
 //! {"op":"shutdown"}
@@ -36,9 +37,10 @@ use ntc_core::tag_delay::OracleStats;
 use ntc_experiments::cache::CacheStats;
 use ntc_experiments::report::{parse_json, push_key_str, push_json_str, Json};
 use ntc_experiments::runner::SweepStats;
-use ntc_experiments::scenario::{GridResult, GridSpec, Regime};
+use ntc_experiments::scenario::{row_label, GridResult, GridSpec, Regime};
 use ntc_experiments::table::ResultTable;
 use ntc_experiments::Scale;
+use ntc_varmodel::OperatingPoint;
 use ntc_workload::ALL_BENCHMARKS;
 
 /// Schema tag of the per-request receipt, bumped on any
@@ -175,13 +177,29 @@ fn spec_from_json(v: &Json) -> Result<GridSpec, String> {
         .and_then(Json::as_str)
         .ok_or("spec: missing string field \"regime\"")?;
     let regime = Regime::parse(regime).ok_or_else(|| format!("unknown regime {regime:?}"))?;
-    if benchmarks.is_empty() || schemes.is_empty() {
-        return Err("spec: benchmarks and schemes must be non-empty".into());
+    // The voltage axis is optional on the wire: an absent "vdd" pins the
+    // grid to the single NTC point, which keeps every pre-axis client
+    // byte-compatible.
+    let voltages = match v.get("vdd") {
+        None => vec![OperatingPoint::NTC],
+        Some(list) => list
+            .as_arr()
+            .ok_or("spec: \"vdd\" must be an array of operating-point names")?
+            .iter()
+            .map(|p| {
+                let name = p.as_str().ok_or("spec: operating points must be strings")?;
+                OperatingPoint::parse(name).map_err(|e| format!("bad operating point: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    };
+    if benchmarks.is_empty() || schemes.is_empty() || voltages.is_empty() {
+        return Err("spec: benchmarks, schemes and vdd must be non-empty".into());
     }
     Ok(GridSpec {
         benchmarks,
         chips: u64_field(v, "chips")? as usize,
         schemes,
+        voltages,
         regime,
         chip_seed_base: u64_field(v, "chip_seed_base")?,
         trace_seed: u64_field(v, "trace_seed")?,
@@ -281,11 +299,13 @@ pub fn render_ok(op: &str) -> String {
 }
 
 /// Render the `list` response: servable experiment ids and the
-/// benchmark/scheme registries a grid spec may reference.
+/// benchmark/scheme/operating-point registries a grid spec may
+/// reference.
 pub fn render_list(
     experiments: &[&str],
     benchmarks: &[&str],
     schemes: &[String],
+    vdd: &[&str],
 ) -> String {
     fn push_str_arr<S: AsRef<str>>(out: &mut String, key: &str, items: &[S]) {
         out.push('"');
@@ -307,6 +327,8 @@ pub fn render_list(
     push_str_arr(&mut out, "benchmarks", benchmarks);
     out.push(',');
     push_str_arr(&mut out, "schemes", schemes);
+    out.push(',');
+    push_str_arr(&mut out, "vdd", vdd);
     out.push('}');
     out
 }
@@ -333,10 +355,13 @@ pub fn render_error(code: ErrorCode, message: &str) -> String {
 }
 
 /// The canonical table of a grid result: one row per (benchmark,
-/// scheme) in spec order, the accumulator's aggregate columns. This —
-/// rendered through the same `ResultTable::write_csv` the batch
-/// binaries use — is the byte-exact payload of a `grid` response,
-/// whichever tier or process produced the result.
+/// operating point, scheme) in spec order, the accumulator's aggregate
+/// columns. Row labels go through the same [`row_label`] helper the
+/// batch CSV writers use — bare benchmark names on single-voltage
+/// grids, `bench @ vX.XX` once the axis is real. This — rendered
+/// through the same `ResultTable::write_csv` the batch binaries use —
+/// is the byte-exact payload of a `grid` response, whichever tier or
+/// process produced the result.
 pub fn grid_table(spec: &GridSpec, result: &GridResult) -> ResultTable {
     let mut t = ResultTable::new(
         "grid",
@@ -352,11 +377,12 @@ pub fn grid_table(spec: &GridSpec, result: &GridResult) -> ResultTable {
             "power_overhead",
         ],
     );
-    for (bench, accs) in result.per_bench() {
+    let multi = spec.multi_voltage();
+    for (bench, point, accs) in result.rows() {
         for (scheme, acc) in spec.schemes.iter().zip(accs) {
             let r = acc.result();
             t.push_row(
-                format!("{}/{}", bench.name(), scheme.name()),
+                format!("{}/{}", row_label(*bench, *point, multi), scheme.name()),
                 vec![
                     acc.runs() as f64,
                     acc.mean_prediction_accuracy(),
@@ -414,8 +440,54 @@ mod tests {
                 assert_eq!(spec.schemes.len(), 2);
                 assert_eq!(spec.regime, Regime::Ch3);
                 assert_eq!(spec.cycles, 2000);
+                // No "vdd" on the wire → the single NTC point, so every
+                // pre-axis client addresses the exact same grid.
+                assert_eq!(spec.voltages, vec![OperatingPoint::NTC]);
             }
             other => panic!("expected grid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vdd_field_round_trips_through_the_spec() {
+        let g = parse_request(
+            r#"{"op":"grid","spec":{"benchmarks":["mcf"],"chips":1,
+                "schemes":["razor"],"regime":"ch3","vdd":["ntc","0.60","v0.80"],
+                "chip_seed_base":0,"trace_seed":0,"cycles":100}}"#,
+        )
+        .expect("grid request with a vdd list parses");
+        match g {
+            Request::Grid { spec } => {
+                let names: Vec<&str> = spec.voltages.iter().map(|p| p.name()).collect();
+                // All three spellings (alias, bare voltage, stable name)
+                // resolve to roster points.
+                assert_eq!(names, vec!["v0.45", "v0.60", "v0.80"]);
+                assert!(spec.multi_voltage());
+            }
+            other => panic!("expected grid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_or_malformed_vdd_is_a_parse_error() {
+        // An off-roster voltage names the roster in its message (the
+        // server wraps this in a `bad-request` response and keeps the
+        // connection alive — see the integration tests).
+        let err = parse_request(
+            r#"{"op":"grid","spec":{"benchmarks":["mcf"],"chips":1,
+                "schemes":["razor"],"regime":"ch3","vdd":["0.99"],
+                "chip_seed_base":0,"trace_seed":0,"cycles":100}}"#,
+        )
+        .expect_err("off-roster voltage must not parse");
+        assert!(err.contains("bad operating point"), "{err}");
+        // Empty and mistyped lists are rejected too.
+        for vdd in [r#""vdd":[]"#, r#""vdd":"ntc""#, r#""vdd":[450]"#] {
+            let line = format!(
+                r#"{{"op":"grid","spec":{{"benchmarks":["mcf"],"chips":1,
+                    "schemes":["razor"],"regime":"ch3",{vdd},
+                    "chip_seed_base":0,"trace_seed":0,"cycles":100}}}}"#
+            );
+            assert!(parse_request(&line).is_err(), "{vdd} must be rejected");
         }
     }
 

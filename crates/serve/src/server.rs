@@ -327,7 +327,11 @@ impl Server {
                     ALL_BENCHMARKS.iter().map(|b| b.name()).collect();
                 let schemes: Vec<String> =
                     SchemeSpec::roster().iter().map(SchemeSpec::name).collect();
-                render_list(&experiments, &benchmarks, &schemes)
+                let vdd: Vec<&str> = ntc_varmodel::OperatingPoint::roster()
+                    .iter()
+                    .map(|p| p.name())
+                    .collect();
+                render_list(&experiments, &benchmarks, &schemes, &vdd)
             }
             Request::Stats => render_stats(&[
                 ("requests", self.stats.requests.load(Ordering::Relaxed)),

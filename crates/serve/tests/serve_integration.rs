@@ -18,23 +18,40 @@ mod ntc_choke_serve_tests {
     pub use std::time::Duration;
 
     /// Grid request line used throughout: small enough to compute in
-    /// seconds, big enough to exercise the sweep.
+    /// seconds, big enough to exercise the sweep. Carries no "vdd", so
+    /// it also pins the pre-axis wire default (single NTC point).
     pub const GRID_LINE: &str = r#"{"op":"grid","spec":{"benchmarks":["mcf"],"chips":2,"schemes":["razor","dcs-icslt:32"],"regime":"ch3","chip_seed_base":940,"trace_seed":11,"cycles":2000}}"#;
+
+    /// [`GRID_LINE`] widened to a two-point supply-voltage axis.
+    pub const VDD_GRID_LINE: &str = r#"{"op":"grid","spec":{"benchmarks":["mcf"],"chips":2,"schemes":["razor","dcs-icslt:32"],"regime":"ch3","vdd":["ntc","0.60"],"chip_seed_base":940,"trace_seed":11,"cycles":2000}}"#;
 
     /// The same spec as [`GRID_LINE`], decoded for direct batch runs.
     pub fn grid_spec() -> ntc_experiments::GridSpec {
         use ntc_core::scenario::SchemeSpec;
         use ntc_experiments::{GridSpec, Regime};
+        use ntc_varmodel::OperatingPoint;
         use ntc_workload::Benchmark;
         GridSpec {
             benchmarks: vec![Benchmark::Mcf],
             chips: 2,
             schemes: vec![SchemeSpec::RazorCh3, SchemeSpec::DcsIcslt { entries: 32 }],
+            voltages: vec![OperatingPoint::NTC],
             regime: Regime::Ch3,
             chip_seed_base: 940,
             trace_seed: 11,
             cycles: 2_000,
         }
+    }
+
+    /// The same spec as [`VDD_GRID_LINE`], decoded for direct batch runs.
+    pub fn vdd_grid_spec() -> ntc_experiments::GridSpec {
+        use ntc_varmodel::OperatingPoint;
+        let mut spec = grid_spec();
+        spec.voltages = vec![
+            OperatingPoint::NTC,
+            OperatingPoint::parse("v0.60").expect("roster point"),
+        ];
+        spec
     }
 
     /// Spawn a daemon on a fresh Unix socket under `dir`; returns the
@@ -159,6 +176,20 @@ fn daemon_serves_coalesced_concurrent_clients_byte_identically() {
         parse_json(&client::roundtrip(&addr, GRID_LINE).expect("memo roundtrip")).expect("json");
     assert_eq!(receipt_tier(&again), "memo");
     assert_eq!(response_csv(&again), csv0);
+
+    // The voltage-axis variant of the same grid is a distinct key: the
+    // daemon computes it fresh and its rows carry the `@ vX.XX` labels.
+    let vdd_resp = parse_json(
+        &client::roundtrip(&addr, VDD_GRID_LINE).expect("vdd grid roundtrip"),
+    )
+    .expect("json");
+    assert!(vdd_resp.get("ok") == Some(&Json::Bool(true)), "ok response");
+    let vdd_csv = response_csv(&vdd_resp);
+    assert_ne!(vdd_csv, csv0, "widening the axis changes the payload");
+    assert!(
+        vdd_csv.contains("mcf @ v0.45") && vdd_csv.contains("mcf @ v0.60"),
+        "multi-voltage rows are labelled per operating point:\n{vdd_csv}"
+    );
     shutdown(&addr, handle);
 
     // ---- Scenario 2: byte-identity vs the batch path at other jobs ---
@@ -170,6 +201,13 @@ fn daemon_serves_coalesced_concurrent_clients_byte_identically() {
     let batch = ntc_experiments::run_grid_uncached(&spec);
     let batch_csv = ntc_serve::protocol::table_csv(&ntc_serve::protocol::grid_table(&spec, &batch));
     assert_eq!(csv0, batch_csv, "daemon payload == batch payload bytes");
+    // Same contract for the voltage-axis grid the daemon just computed
+    // at jobs=2: a cold jobs=1 batch run reproduces it byte for byte.
+    let spec = vdd_grid_spec();
+    let batch = ntc_experiments::run_grid_uncached(&spec);
+    let batch_vdd_csv =
+        ntc_serve::protocol::table_csv(&ntc_serve::protocol::grid_table(&spec, &batch));
+    assert_eq!(vdd_csv, batch_vdd_csv, "vdd daemon payload == batch bytes");
 
     // ---- Scenario 3: a fresh daemon on the same cache dir serves the
     // grid from disk (cross-process warm start) ------------------------
@@ -219,15 +257,23 @@ fn daemon_serves_coalesced_concurrent_clients_byte_identically() {
     let (addr, handle) = start_server(&dir, "errors", |cfg| {
         cfg.cache_dir = None;
     });
+    let bad_vdd = GRID_LINE.replace("\"regime\":\"ch3\"", "\"regime\":\"ch3\",\"vdd\":[\"0.99\"]");
     let lines = [
         r#"{"op":"warp"}"#,
         r#"{"op":"experiment","id":"fig9.99"}"#,
+        bad_vdd.as_str(),
         r#"{"op":"ping"}"#,
     ];
-    let responses = client::roundtrip_many(&addr, &lines).expect("three roundtrips on one conn");
+    let responses = client::roundtrip_many(&addr, &lines).expect("four roundtrips on one conn");
     assert!(responses[0].contains("\"code\":\"bad-request\""));
     assert!(responses[1].contains("\"code\":\"unknown-id\""));
-    assert!(responses[2].contains("\"ok\":true"), "connection survived");
+    assert!(
+        responses[2].contains("\"code\":\"bad-request\"")
+            && responses[2].contains("bad operating point"),
+        "off-roster vdd is refused, not computed: {}",
+        responses[2]
+    );
+    assert!(responses[3].contains("\"ok\":true"), "connection survived");
     shutdown(&addr, handle);
 
     let _ = std::fs::remove_dir_all(&dir);

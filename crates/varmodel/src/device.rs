@@ -16,6 +16,14 @@ pub const ALPHA: f64 = 1.5;
 /// Nominal threshold voltage (volts) of the 16 nm-class device.
 pub const VTH_NOMINAL: f64 = 0.38;
 
+/// Lowest supply voltage (volts) at which the delay-multiplier paths are
+/// defined. Both [`Corner::variation_multiplier`] and the PVTA layer clamp
+/// the effective threshold voltage into `[0.05 V, vdd − 8 mV]`; at
+/// `vdd ≤ 0.058 V` that window inverts (its ceiling drops below its
+/// floor) and the alpha-power law has no safe evaluation point, so such
+/// corners are rejected at construction instead.
+pub const MIN_VDD: f64 = 0.058;
+
 /// An operating corner: a supply voltage with helper constructors for the
 /// two corners the paper evaluates.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -43,13 +51,34 @@ impl Corner {
     ///
     /// # Panics
     ///
-    /// Panics unless `vdd` exceeds the nominal threshold voltage.
+    /// Panics unless `vdd` exceeds the nominal threshold voltage (which
+    /// itself sits far above the [`MIN_VDD`] floor where the Vth clamp
+    /// window of the delay-multiplier paths would invert).
     pub fn custom(vdd: f64) -> Corner {
+        assert!(
+            vdd > MIN_VDD,
+            "supply voltage {vdd} V inverts the Vth clamp window (floor {MIN_VDD} V)"
+        );
         assert!(
             vdd > VTH_NOMINAL + 0.02,
             "supply voltage {vdd} V must stay above Vth = {VTH_NOMINAL} V"
         );
         Corner { vdd, name: "custom" }
+    }
+
+    /// Re-check the [`MIN_VDD`] floor on the delay paths: `Corner`'s
+    /// fields are public, so struct-literal corners bypass
+    /// [`Corner::custom`]'s validation. Failing loudly here replaces the
+    /// silent alpha-power-law inversion (or bare `clamp` panic) the raw
+    /// formula would produce.
+    fn assert_operable(&self) {
+        assert!(
+            self.vdd > MIN_VDD,
+            "corner {} at {} V is below the {MIN_VDD} V floor: the Vth clamp \
+             window [0.05, vdd - 0.008] is inverted",
+            self.name,
+            self.vdd
+        );
     }
 
     /// Alpha-power-law delay factor relative to the STC corner: how much a
@@ -66,6 +95,7 @@ impl Corner {
     /// single formula is the source of the STC/NTC asymmetry in every
     /// figure.
     pub fn variation_multiplier(&self, dvth: f64) -> f64 {
+        self.assert_operable();
         let vth = (VTH_NOMINAL + dvth).clamp(0.05, self.vdd - 0.008);
         delay_scale(self.vdd, vth) / delay_scale(self.vdd, VTH_NOMINAL)
     }
@@ -148,5 +178,24 @@ mod tests {
     #[should_panic(expected = "must stay above")]
     fn custom_corner_validates_vdd() {
         let _ = Corner::custom(0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverts the Vth clamp window")]
+    fn custom_corner_rejects_clamp_inverting_vdd() {
+        // At vdd <= 0.058 V the clamp ceiling (vdd - 8 mV) drops below
+        // the 0.05 V floor — the alpha-power law would silently invert
+        // (or the clamp panic with an unhelpful message); construction
+        // must reject it outright.
+        let _ = Corner::custom(0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the 0.058 V floor")]
+    fn struct_literal_corner_below_floor_fails_loudly() {
+        // Public fields let a literal bypass `custom`; the delay path
+        // still refuses to evaluate an inverted clamp window.
+        let rogue = Corner { vdd: 0.05, name: "rogue" };
+        let _ = rogue.variation_multiplier(0.01);
     }
 }

@@ -7,6 +7,9 @@
 //!
 //! * [`device`] — alpha-power-law FinFET delay model with the paper's two
 //!   operating corners ([`Corner::STC`] = 0.8 V, [`Corner::NTC`] = 0.45 V).
+//! * [`point`] — the canonical [`OperatingPoint`] roster (`v0.45` …
+//!   `v0.80` at a fixed step): supply voltage as a named, parseable sweep
+//!   axis between (and including) the two stock corners.
 //! * [`variation`] — systematic (spatially correlated) + random threshold
 //!   voltage variation, plus a lognormal geometric term for the secondary
 //!   FinFET parameters.
@@ -31,12 +34,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod device;
+pub mod point;
 pub mod pvta;
 pub mod rng;
 pub mod signature;
 pub mod variation;
 
-pub use device::{Corner, ALPHA, VTH_NOMINAL};
+pub use device::{Corner, ALPHA, MIN_VDD, VTH_NOMINAL};
+pub use point::{OperatingPoint, ParsePointError, VDD_STEP};
 pub use pvta::{at_condition, OperatingCondition};
 pub use rng::SplitMix64;
 pub use signature::{chip_lottery, ChipSignature, MultiplierStats};

@@ -15,7 +15,7 @@
 //!   slowing every gate — slightly, but enough to promote borderline
 //!   paths into new choke paths over a chip's lifetime.
 
-use crate::device::{delay_scale, Corner, VTH_NOMINAL};
+use crate::device::{delay_scale, Corner, MIN_VDD, VTH_NOMINAL};
 use crate::signature::ChipSignature;
 use ntc_netlist::Netlist;
 
@@ -74,6 +74,16 @@ impl OperatingCondition {
     /// drift (older → higher Vth → slower). Near threshold the Vth term
     /// dominates, inverting the usual temperature dependence.
     pub fn delay_multiplier(&self, corner: Corner) -> f64 {
+        // Struct-literal corners bypass `Corner::custom`'s validation;
+        // below MIN_VDD the clamp window on the next line inverts and the
+        // alpha-power law has no safe evaluation point — refuse loudly.
+        assert!(
+            corner.vdd > MIN_VDD,
+            "corner {} at {} V is below the {MIN_VDD} V floor: the Vth clamp \
+             window [0.05, vdd - 0.008] is inverted",
+            corner.name,
+            corner.vdd
+        );
         let dvth = VTH_TEMP_COEFF * (self.temperature_k - T_REF_K) + self.aging_dvth();
         let vth = (VTH_NOMINAL + dvth).clamp(0.05, corner.vdd - 0.008);
         let vth_term = delay_scale(corner.vdd, vth) / delay_scale(corner.vdd, VTH_NOMINAL);
@@ -129,6 +139,15 @@ mod tests {
         let c = OperatingCondition::nominal();
         assert!((c.delay_multiplier(Corner::NTC) - 1.0).abs() < 1e-12);
         assert_eq!(c.aging_dvth(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the 0.058 V floor")]
+    fn sub_floor_corner_is_rejected_not_inverted() {
+        // A struct-literal corner at 50 mV used to reach the raw clamp,
+        // whose window [0.05, vdd - 0.008] is inverted there.
+        let rogue = Corner { vdd: 0.05, name: "rogue" };
+        let _ = OperatingCondition::nominal().delay_multiplier(rogue);
     }
 
     #[test]

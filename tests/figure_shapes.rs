@@ -30,6 +30,10 @@ fn manifest_shape_is_golden() {
         sweep: runner::take_stats(),
         oracle: take_oracle_stats(),
         cache: ntc_choke::experiments::cache::take_stats(),
+        voltages: ntc_choke::experiments::take_voltage_cells()
+            .into_iter()
+            .map(|(point, cells)| (point.name().to_owned(), cells))
+            .collect(),
         sweep_failures: runner::take_sweep_failures(),
         rows: table.rows.len(),
         csv: Some(csv),
@@ -65,6 +69,7 @@ fn manifest_shape_is_golden() {
             "sweep_wall_ns",
             "oracle",
             "cache",
+            "voltages",
             "sweep_failures",
             "rows",
             "csv",

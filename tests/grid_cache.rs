@@ -7,6 +7,7 @@ use ntc_choke::core::scenario::SchemeSpec;
 use ntc_choke::experiments::cache;
 use ntc_choke::experiments::scenario::GRID_MEMO_CAP;
 use ntc_choke::experiments::{run_grid, run_grid_uncached, GridSpec, Regime};
+use ntc_choke::varmodel::OperatingPoint;
 use ntc_choke::workload::Benchmark;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
@@ -27,6 +28,7 @@ fn tiny_spec(trace_seed: u64) -> GridSpec {
         benchmarks: vec![Benchmark::Gzip],
         chips: 1,
         schemes: vec![SchemeSpec::RazorCh3, SchemeSpec::DcsIcslt { entries: 32 }],
+        voltages: vec![OperatingPoint::NTC],
         regime: Regime::Ch3,
         chip_seed_base: 220,
         trace_seed,
@@ -112,6 +114,51 @@ fn corrupt_artifacts_are_quarantined_and_recomputed() {
         let recomputed = run_grid_uncached(&spec);
         assert_eq!(recomputed, cold, "recompute after eviction is bit-identical");
     }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn old_schema_artifacts_are_ignored_not_quarantined() {
+    let _guard = lock();
+    let dir = cache_dir("old-schema");
+    let spec = tiny_spec(55);
+    let cold = run_grid_uncached(&spec);
+    cache::store(&dir, &spec, &cold).expect("artifact stored");
+
+    // Stand-in for a pre-bump artifact: the schema tag is folded into
+    // the content-addressed key, so an artifact written under any other
+    // schema lives at a filename the current code never computes. Its
+    // content would fail every structural check if it were ever decoded
+    // — the point is that it never is.
+    let old_path = dir.join(format!("{}.grid", "0".repeat(32)));
+    let old_bytes = b"NTCGRID1 written by an older schema".to_vec();
+    std::fs::write(&old_path, &old_bytes).expect("stale artifact written");
+
+    let _ = cache::take_stats();
+    // A voltage-axis variant of the spec misses cleanly; the current
+    // spec still hits. Neither lookup goes anywhere near the stale file.
+    let mut wide = tiny_spec(55);
+    wide.voltages = vec![
+        OperatingPoint::NTC,
+        OperatingPoint::parse("v0.60").expect("roster point"),
+    ];
+    assert!(cache::load(&dir, &wide).is_none(), "wider axis is a plain miss");
+    assert!(cache::load(&dir, &spec).is_some(), "current artifact still hits");
+    let stats = cache::take_stats();
+    assert_eq!(stats.corrupt_evictions, 0, "nothing was quarantined");
+
+    // The stale artifact is ignored: untouched in place, not renamed.
+    assert_eq!(
+        std::fs::read(&old_path).expect("stale artifact still readable"),
+        old_bytes,
+        "old-schema artifact bytes untouched"
+    );
+    let corpses: Vec<_> = std::fs::read_dir(&dir)
+        .expect("cache dir readable")
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "corrupt"))
+        .collect();
+    assert!(corpses.is_empty(), "no .corrupt quarantine files: {corpses:?}");
     std::fs::remove_dir_all(&dir).ok();
 }
 

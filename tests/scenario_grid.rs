@@ -14,6 +14,7 @@ use ntc_choke::core::scenario::{ChipContext, SchemeSpec};
 use ntc_choke::experiments::scenario::{run_grid_uncached, GridSpec, Regime};
 use ntc_choke::experiments::runner;
 use ntc_choke::timing::ClockSpec;
+use ntc_choke::varmodel::OperatingPoint;
 use ntc_choke::workload::Benchmark;
 use std::collections::HashSet;
 
@@ -29,6 +30,7 @@ fn registry_round_trips_and_grids_are_thread_count_invariant() {
             hold_ps: 110.0,
         },
         trace_len: 60_000,
+        point: OperatingPoint::NTC,
     };
     for spec in SchemeSpec::roster() {
         let name = spec.name();
@@ -55,8 +57,13 @@ fn registry_round_trips_and_grids_are_thread_count_invariant() {
     // --- run_grid determinism across thread counts. ---
     // Uncached deliberately: the grid cache would short-circuit the
     // second and third runs. A small but representative spec — two
-    // benchmarks, two chips, and schemes covering the per-chip-stretch
-    // (HFG) and capacity-table (DCS) paths.
+    // benchmarks, two chips, a four-point supply-voltage axis, and
+    // schemes covering the per-chip-stretch (HFG) and capacity-table
+    // (DCS) paths.
+    let voltages: Vec<OperatingPoint> = ["ntc", "v0.55", "v0.65", "stc"]
+        .iter()
+        .map(|n| OperatingPoint::parse(n).expect("roster point"))
+        .collect();
     let spec = GridSpec {
         benchmarks: vec![Benchmark::Gzip, Benchmark::Mcf],
         chips: 2,
@@ -65,6 +72,7 @@ fn registry_round_trips_and_grids_are_thread_count_invariant() {
             SchemeSpec::Hfg,
             SchemeSpec::DcsIcslt { entries: 32 },
         ],
+        voltages: voltages.clone(),
         regime: Regime::Ch3,
         chip_seed_base: 220,
         trace_seed: 7,
@@ -80,19 +88,33 @@ fn registry_round_trips_and_grids_are_thread_count_invariant() {
     runner::set_jobs(1);
 
     let reference = &grids[0];
+    // Row structure: bench-major over the declared voltage axis.
+    assert_eq!(
+        reference.rows().len(),
+        spec.benchmarks.len() * voltages.len(),
+        "one row per (benchmark, operating point)"
+    );
+    for (i, (bench, point, _)) in reference.rows().iter().enumerate() {
+        assert_eq!(*bench, spec.benchmarks[i / voltages.len()], "row {i} bench");
+        assert_eq!(*point, voltages[i % voltages.len()], "row {i} point");
+    }
     for (jobs, grid) in [2usize, 8].into_iter().zip(&grids[1..]) {
         assert_eq!(grid.schemes(), reference.schemes());
-        for ((b_ref, accs_ref), (b, accs)) in reference.per_bench().iter().zip(grid.per_bench()) {
+        for ((b_ref, v_ref, accs_ref), (b, v, accs)) in
+            reference.rows().iter().zip(grid.rows())
+        {
             assert_eq!(b, b_ref, "--jobs {jobs}: benchmark order");
+            assert_eq!(v, v_ref, "--jobs {jobs}: voltage order");
             for (spec, (acc_ref, acc)) in spec.schemes.iter().zip(accs_ref.iter().zip(accs)) {
                 // The whole accumulator — every integer counter and float
                 // sum — must match exactly…
                 assert_eq!(
                     acc,
                     acc_ref,
-                    "--jobs {jobs}: {} on {} diverged",
+                    "--jobs {jobs}: {} on {} @ {} diverged",
                     spec.name(),
-                    b.name()
+                    b.name(),
+                    v.name()
                 );
                 // …and the derived means must be bit-identical, not
                 // merely approximately equal.
@@ -112,8 +134,8 @@ fn registry_round_trips_and_grids_are_thread_count_invariant() {
         }
     }
     // The grid actually simulated something: HFG stretches the clock on
-    // these PV-affected dice, and some scheme saw errors.
-    let gzip = reference.benchmark(Benchmark::Gzip);
+    // these PV-affected dice at NTC, and some scheme saw errors.
+    let gzip = reference.cell(Benchmark::Gzip, OperatingPoint::NTC);
     assert!(gzip[1].mean_period_stretch() > 1.0, "HFG stretch applied");
     assert!(
         gzip.iter().any(|a| a.result().errors_total() > 0),

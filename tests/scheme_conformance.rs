@@ -10,18 +10,21 @@
 //!   sees (`avoided + recovered + corruptions == profile_errors` totals),
 //!   with the documented exceptions (HFG stretches its clock and sees
 //!   fewer; OCST's tuned skew masks overshoots; Razor ch4 double-counts
-//!   consecutive errors because it cannot absorb the trailing min half);
+//!   consecutive errors because it cannot absorb the trailing min half;
+//!   DVS tightens its effective clock as it harvests supply rungs and so
+//!   sees *at least* the base-clock profile, recovering all of it);
 //! * two same-seed runs produce an identical `SimResult`.
 
 use ntc_choke::core::baselines::{Hfg, Ocst, Razor};
 use ntc_choke::core::dcs::Dcs;
+use ntc_choke::core::scenario::{ChipContext, SchemeSpec};
 use ntc_choke::core::scheme::ResilienceScheme;
 use ntc_choke::core::sim::{profile_errors, run_scheme, SimResult};
 use ntc_choke::core::tag_delay::{OracleConfig, TagDelayOracle};
 use ntc_choke::core::trident::Trident;
 use ntc_choke::pipeline::Pipeline;
 use ntc_choke::timing::ClockSpec;
-use ntc_choke::varmodel::{Corner, VariationParams};
+use ntc_choke::varmodel::{Corner, OperatingPoint, VariationParams};
 use ntc_choke::workload::{Benchmark, TraceGenerator};
 
 const CHIP_SEED: u64 = 21;
@@ -64,6 +67,25 @@ fn hfg_stretch(o: &TagDelayOracle, clock: ClockSpec) -> f64 {
     (o.static_critical_delay_ps() * 1.02 / clock.period_ps).max(1.0)
 }
 
+/// Build a voltage-axis scheme through the registry: the DVS undervolting
+/// ladder is derived from the grid operating point inside
+/// `SchemeSpec::build`, not in the scheme constructor, so conformance must
+/// go through the same path. `v0.60` gives the controller real rungs to
+/// walk (NTC is already the roster floor).
+fn registry_scheme(
+    spec: SchemeSpec,
+    o: &TagDelayOracle,
+    clock: ClockSpec,
+) -> Box<dyn ResilienceScheme> {
+    let ctx = ChipContext {
+        static_critical_delay_ps: o.static_critical_delay_ps(),
+        clock,
+        trace_len: TRACE_LEN,
+        point: OperatingPoint::parse("v0.60").expect("roster point"),
+    };
+    spec.build(&ctx)
+}
+
 /// Fresh instances of every scheme in the repo, paired with the chapter
 /// clock each is specified against.
 fn all_schemes(o: &TagDelayOracle) -> Vec<(Box<dyn ResilienceScheme>, ClockSpec)> {
@@ -77,6 +99,8 @@ fn all_schemes(o: &TagDelayOracle) -> Vec<(Box<dyn ResilienceScheme>, ClockSpec)
         (Box::new(Dcs::icslt_default()), c3),
         (Box::new(Dcs::acslt_default()), c3),
         (Box::new(Trident::paper()), c4),
+        (registry_scheme(SchemeSpec::Dvs, o, c3), c3),
+        (registry_scheme(SchemeSpec::HardenChoke { top_k: 8 }, o, c3), c3),
     ]
 }
 
@@ -177,10 +201,18 @@ fn base_clock_schemes_account_for_every_profiled_error() {
     let min_errors: u64 = p3.per_opcode_minmax.values().map(|(_, min_e)| *min_e).sum();
     assert_eq!(min_errors, 0, "ch3 clock must be max-side only");
 
+    let hardened = {
+        let chip = oracle();
+        // On a stock die (no gates actually hardened) the choke-hardened
+        // Razor recovers exactly the profiled errors, like plain Razor —
+        // the scheme only pays its upsizing power.
+        registry_scheme(SchemeSpec::HardenChoke { top_k: 8 }, &chip, c3)
+    };
     for mut scheme in [
         Box::new(Razor::ch3()) as Box<dyn ResilienceScheme>,
         Box::new(Dcs::icslt_default()),
         Box::new(Dcs::acslt_default()),
+        hardened,
     ] {
         let mut chip = oracle();
         let r = run_scheme(scheme.as_mut(), &mut chip, &trace, c3, pipe);
@@ -233,6 +265,23 @@ fn base_clock_schemes_account_for_every_profiled_error() {
     let mut chip = oracle();
     let ocst = run_scheme(&mut Ocst::new(1_000, 0.30), &mut chip, &trace, c3, pipe);
     assert!(ocst.errors_total() <= p3.errors_total(), "OCST masks tuned errors");
+
+    // DVS thresholds against its effective clock, which only tightens as
+    // the controller harvests supply rungs: at least the base-clock
+    // profile's errors occur, every one is recovered (the correction loop
+    // never lets an error pass silently), and the harvested margin shows
+    // up as a mean supply below the grid point.
+    let mut chip = oracle();
+    let mut dvs = registry_scheme(SchemeSpec::Dvs, &chip, c3);
+    let r = run_scheme(dvs.as_mut(), &mut chip, &trace, c3, pipe);
+    assert!(
+        r.errors_total() >= p3.errors_total(),
+        "DVS: {} events vs profiled {}",
+        r.errors_total(),
+        p3.errors_total()
+    );
+    assert_eq!(r.corruptions, 0, "DVS recovers every error it induces");
+    assert_eq!(r.avoided, 0, "DVS has no prediction path");
 }
 
 #[test]

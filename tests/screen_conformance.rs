@@ -24,7 +24,7 @@ use ntc_choke::experiments::{
 };
 use ntc_choke::pipeline::Pipeline;
 use ntc_choke::timing::{ClockSpec, ScreenBounds, StaticTiming};
-use ntc_choke::varmodel::{Corner, VariationParams};
+use ntc_choke::varmodel::{Corner, OperatingPoint, VariationParams};
 use ntc_choke::workload::{Benchmark, TraceGenerator};
 
 /// Serializes every test in this binary: they toggle process-wide switches
@@ -79,6 +79,7 @@ fn run_roster(corner: Corner, seed: u64, regime: ClockRegime, screened: bool) ->
             static_critical_delay_ps: static_critical,
             clock: scheme_clock,
             trace_len: trace.len(),
+            point: OperatingPoint::from_corner(corner).expect("stock corner is on the roster"),
         };
         let mut scheme = s.build(&ctx);
         results[i] = Some(run_scheme(scheme.as_mut(), oracle, &trace, scheme_clock, Pipeline::core1()));

@@ -1,0 +1,103 @@
+//! Hand-rolled property test for the supply-voltage axis: a gate's delay
+//! is strictly monotone *decreasing* in Vdd across the whole operating-point
+//! roster. This is the physical invariant the voltage sweep rests on — the
+//! alpha-power law `t ∝ Vdd/(Vdd − Vth)^α` must dominate every variation
+//! draw the fabrication model can realistically produce, at every rung
+//! between the NTC floor and the STC ceiling.
+//!
+//! No property-testing crate: cases are generated from the repo's own
+//! [`SplitMix64`] stream, so every run explores the same (seeded) sample
+//! and failures reproduce exactly.
+
+use ntc_choke::netlist::generators::alu::Alu;
+use ntc_choke::varmodel::{
+    ChipSignature, OperatingPoint, SplitMix64, VariationParams, VariationSampler,
+};
+
+/// The roster itself must ascend in voltage, or "monotone across the
+/// roster" is meaningless.
+fn ascending_roster() -> Vec<OperatingPoint> {
+    let roster = OperatingPoint::roster();
+    for w in roster.windows(2) {
+        assert!(
+            w[1].vdd() > w[0].vdd(),
+            "roster must ascend in Vdd: {} then {}",
+            w[0],
+            w[1]
+        );
+    }
+    roster.to_vec()
+}
+
+#[test]
+fn fabricated_gate_delays_decrease_strictly_in_vdd() {
+    // Property, end to end through the fabrication path: fabricate the
+    // *same* die (same seed → same variation draws, the sampler is
+    // corner-independent) at every roster point and compare gate by gate.
+    let roster = ascending_roster();
+    let alu = Alu::new(8);
+    let nl = alu.netlist();
+    let mut rng = SplitMix64::seed_from_u64(0x5eed_0001);
+    for params in [VariationParams::ntc(), VariationParams::stc()] {
+        for _case in 0..6 {
+            let seed = rng.next_u64();
+            let signatures: Vec<ChipSignature> = roster
+                .iter()
+                .map(|p| ChipSignature::fabricate(nl, p.corner(), params, seed))
+                .collect();
+            for idx in 0..nl.len() {
+                if signatures[0].delay_ps(idx) == 0.0 {
+                    // Pseudo gate (zero delay at every corner) — skip.
+                    continue;
+                }
+                for hi in 1..roster.len() {
+                    let lo = hi - 1;
+                    let slow = signatures[lo].delay_ps(idx);
+                    let fast = signatures[hi].delay_ps(idx);
+                    assert!(
+                        fast < slow,
+                        "seed {seed:#x} gate {idx}: delay {fast:.3} ps at {} \
+                         must be strictly below {slow:.3} ps at {}",
+                        roster[hi],
+                        roster[lo],
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn analytic_delay_factor_decreases_in_vdd_for_sampled_variation() {
+    // Property, device layer: for variation draws from the model's own
+    // sampler, `delay_factor × variation_multiplier` — the full per-gate
+    // scale relative to the PV-free STC gate — decreases strictly from
+    // each roster rung to the next.
+    let roster = ascending_roster();
+    let mut rng = SplitMix64::seed_from_u64(0x5eed_0002);
+    for _case in 0..64 {
+        let params = if rng.gen_bool() {
+            VariationParams::ntc()
+        } else {
+            VariationParams::stc()
+        };
+        let mut sampler = VariationSampler::new(params, rng.next_u64());
+        let var = sampler.draw(rng.gen_f64(), rng.gen_f64());
+        let scale = |p: &OperatingPoint| {
+            let c = p.corner();
+            c.delay_factor() * var.delay_multiplier(c)
+        };
+        for w in roster.windows(2) {
+            assert!(
+                scale(&w[1]) < scale(&w[0]),
+                "dvth {:+.4} V, geom {:.4}: scale must drop from {} ({:.4}) to {} ({:.4})",
+                var.dvth,
+                var.geom_mult,
+                w[0],
+                scale(&w[0]),
+                w[1],
+                scale(&w[1]),
+            );
+        }
+    }
+}
