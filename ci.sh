@@ -50,14 +50,14 @@ test -s target/repro-ci/manifest.json
 test -s target/repro-ci/fig3_4.csv
 # The manifest and every stdout table document must parse as JSON.
 if command -v jq >/dev/null 2>&1; then
-  jq -e '.schema == "ntc-repro-manifest/5" and .failed == 0 and (.records | length) == 1' \
+  jq -e '.schema == "ntc-repro-manifest/6" and .failed == 0 and (.records | length) == 1' \
     target/repro-ci/manifest.json >/dev/null
   jq -e . target/repro-ci-tables.jsonl >/dev/null
 elif command -v python3 >/dev/null 2>&1; then
   python3 - <<'EOF'
 import json
 m = json.load(open("target/repro-ci/manifest.json"))
-assert m["schema"] == "ntc-repro-manifest/5" and m["failed"] == 0 and len(m["records"]) == 1, m
+assert m["schema"] == "ntc-repro-manifest/6" and m["failed"] == 0 and len(m["records"]) == 1, m
 for line in open("target/repro-ci-tables.jsonl"):
     if line.strip():
         json.loads(line)
@@ -169,6 +169,42 @@ fi
   fig3.4 tab3.overheads >/dev/null
 grep -q '"resumed":true,' target/repro-ci-resume/manifest.json
 grep -q '"failed":0,' target/repro-ci-resume/manifest.json
+
+echo "==> trace record/replay: full replay reproduces the generator CSV byte-for-byte"
+# Three cold processes, no --cache-dir (a shared cache would alias the
+# record run onto the generator's artifacts and skip the cells that
+# write traces): plain generator, --record (writes .ntt files), then
+# replay of those files. All three CSVs must be byte-identical — the
+# replay gate is the acceptance criterion for the binary trace format.
+rm -rf target/repro-ci-traces target/repro-ci-trace-gen \
+  target/repro-ci-trace-rec target/repro-ci-trace-rep target/repro-ci-trace-ph
+./target/release/repro --fast --out target/repro-ci-trace-gen fig3.8 >/dev/null
+./target/release/repro --fast --trace-dir target/repro-ci-traces --record \
+  --out target/repro-ci-trace-rec fig3.8 >/dev/null
+ls target/repro-ci-traces/*.ntt >/dev/null
+./target/release/repro --fast --trace-dir target/repro-ci-traces \
+  --out target/repro-ci-trace-rep fig3.8 >/dev/null
+cmp target/repro-ci-trace-gen/fig3_8.csv target/repro-ci-trace-rec/fig3_8.csv
+cmp target/repro-ci-trace-gen/fig3_8.csv target/repro-ci-trace-rep/fig3_8.csv
+# The manifest tags each run's workload source and counts the traffic
+# (WorkloadStats::fields emits a fixed key order).
+grep -q '"source":"generator"' target/repro-ci-trace-gen/manifest.json
+grep -q '"source":"record:' target/repro-ci-trace-rec/manifest.json
+grep -Eq '"traces_recorded":[1-9][0-9]*,' target/repro-ci-trace-rec/manifest.json
+grep -q '"source":"replay:' target/repro-ci-trace-rep/manifest.json
+grep -Eq '"trace_replays":[1-9][0-9]*,' target/repro-ci-trace-rep/manifest.json
+
+echo "==> trace phases: SimPoint-weighted replay passes and persists its phase sets"
+# The tolerance contract (phase estimates within pinned bounds of the
+# full trace, ≤20% of its instructions) is enforced by the
+# trace_sampling integration test above; here the gate is that the
+# end-to-end --phases pipeline runs green and accounts its sampling.
+./target/release/repro --fast --trace-dir target/repro-ci-traces --phases \
+  --out target/repro-ci-trace-ph fig3.8 >/dev/null
+ls target/repro-ci-traces/*.ntp >/dev/null
+grep -q '"source":"phases:' target/repro-ci-trace-ph/manifest.json
+grep -Eq '"phase_replays":[1-9][0-9]*,' target/repro-ci-trace-ph/manifest.json
+grep -q '"failed":0,' target/repro-ci-trace-ph/manifest.json
 
 echo "==> ntc-serve: concurrent clients, batch-identical CSVs, disk hit, clean SIGTERM"
 # Daemon on a temp unix socket, sharing a fresh cache dir. Two concurrent

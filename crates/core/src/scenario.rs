@@ -478,6 +478,38 @@ impl SimAccumulator {
         self.accuracy_sum += r.prediction_accuracy();
     }
 
+    /// Fold one run in `weight` times — the phase-sampling fold: a
+    /// SimPoint representative standing for `weight` intervals counts as
+    /// `weight` runs of its own result. `push_weighted(r, 1)` is *not*
+    /// guaranteed bit-identical to `push(r)` (the `f64` sums multiply by
+    /// `1.0` here); whole-trace callers keep using [`push`](Self::push).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is zero — a phase standing for no intervals is
+    /// a sampling bug, not a no-op.
+    pub fn push_weighted(&mut self, r: &SimResult, weight: u64) {
+        assert!(weight > 0, "phase weight must be positive");
+        if self.runs == 0 {
+            self.scheme = Some(r.scheme);
+            self.power_overhead = r.power_overhead;
+        }
+        self.runs += weight;
+        self.cost.instructions += r.cost.instructions * weight;
+        self.cost.stall_cycles += r.cost.stall_cycles * weight;
+        self.cost.flush_cycles += r.cost.flush_cycles * weight;
+        self.cost.flush_events += r.cost.flush_events * weight;
+        self.avoided += r.avoided * weight;
+        self.false_positives += r.false_positives * weight;
+        self.recovered += r.recovered * weight;
+        self.corruptions += r.corruptions * weight;
+        for (acc, c) in self.recovered_by_class.iter_mut().zip(r.recovered_by_class) {
+            *acc += c * weight;
+        }
+        self.stretch_sum += r.period_stretch * weight as f64;
+        self.accuracy_sum += r.prediction_accuracy() * weight as f64;
+    }
+
     /// Number of runs folded in.
     pub fn runs(&self) -> u64 {
         self.runs
@@ -548,6 +580,37 @@ mod tests {
             period_stretch: stretch,
             power_overhead: 0.01,
         }
+    }
+
+    #[test]
+    fn push_weighted_equals_pushing_weight_times() {
+        let a = sample(1.05, 7, 3);
+        let b = sample(1.10, 2, 9);
+        let mut repeated = SimAccumulator::default();
+        for _ in 0..4 {
+            repeated.push(&a);
+        }
+        repeated.push(&b);
+        let mut weighted = SimAccumulator::default();
+        weighted.push_weighted(&a, 4);
+        weighted.push_weighted(&b, 1);
+        assert_eq!(repeated.runs(), weighted.runs());
+        let r = repeated.to_parts();
+        let w = weighted.to_parts();
+        assert_eq!(r.cost, w.cost);
+        assert_eq!(r.avoided, w.avoided);
+        assert_eq!(r.recovered_by_class, w.recovered_by_class);
+        // f64 sums: repeated adds vs. one multiply agree to rounding,
+        // not necessarily to the last bit.
+        assert!((r.stretch_sum - w.stretch_sum).abs() < 1e-12);
+        assert!((r.accuracy_sum - w.accuracy_sum).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "phase weight must be positive")]
+    fn zero_weight_push_is_rejected() {
+        let mut acc = SimAccumulator::default();
+        acc.push_weighted(&sample(1.0, 1, 1), 0);
     }
 
     #[test]

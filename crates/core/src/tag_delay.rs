@@ -197,6 +197,78 @@ static STAT_SCREEN_HITS: AtomicU64 = AtomicU64::new(0);
 static STAT_SCREEN_MISSES: AtomicU64 = AtomicU64::new(0);
 static STAT_SCREEN_FALLBACKS: AtomicU64 = AtomicU64::new(0);
 
+/// A per-run attribution scope for the oracle counters. While installed
+/// on a thread (see [`set_oracle_scope`]), every increment additionally
+/// lands in the scope, so a server interleaving jobs can attribute the
+/// timing work each job caused without disturbing the process-wide
+/// drain ([`take_oracle_stats`]) other callers rely on. The scope
+/// carries its own [`ntc_timing::StaScope`] so one install covers the
+/// whole timing stack, mirroring how the global drain folds
+/// `take_sta_counters` in.
+#[derive(Debug, Default)]
+pub struct OracleScope {
+    gate_sims: AtomicU64,
+    local_hits: AtomicU64,
+    shared_hits: AtomicU64,
+    screen_hits: AtomicU64,
+    screen_misses: AtomicU64,
+    screen_fallbacks: AtomicU64,
+    sta: std::sync::Arc<ntc_timing::StaScope>,
+}
+
+impl OracleScope {
+    /// The counters accumulated in this scope so far (non-draining),
+    /// with the STA counters of the embedded timing scope folded in.
+    pub fn snapshot(&self) -> OracleStats {
+        let sta = self.sta.snapshot();
+        OracleStats {
+            gate_sims: self.gate_sims.load(Ordering::Relaxed),
+            local_hits: self.local_hits.load(Ordering::Relaxed),
+            shared_hits: self.shared_hits.load(Ordering::Relaxed),
+            screen_hits: self.screen_hits.load(Ordering::Relaxed),
+            screen_misses: self.screen_misses.load(Ordering::Relaxed),
+            screen_fallbacks: self.screen_fallbacks.load(Ordering::Relaxed),
+            sta_full: sta.sta_full,
+            sta_incremental: sta.sta_incremental,
+            incr_gates_touched: sta.incr_gates_touched,
+        }
+    }
+}
+
+thread_local! {
+    static ORACLE_SCOPE: std::cell::RefCell<Option<std::sync::Arc<OracleScope>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Install (or, with `None`, clear) the calling thread's oracle
+/// attribution scope, returning the previous one so callers can restore
+/// it. Also installs/clears the embedded [`ntc_timing::StaScope`] on the
+/// same thread. Share one `Arc` across a run's worker threads to
+/// aggregate their work.
+pub fn set_oracle_scope(
+    scope: Option<std::sync::Arc<OracleScope>>,
+) -> Option<std::sync::Arc<OracleScope>> {
+    ntc_timing::set_sta_scope(scope.as_ref().map(|s| s.sta.clone()));
+    ORACLE_SCOPE.with(|s| s.replace(scope))
+}
+
+/// The calling thread's installed oracle scope, if any — what the sweep
+/// runner captures before spawning workers so workers inherit it.
+pub fn current_oracle_scope() -> Option<std::sync::Arc<OracleScope>> {
+    ORACLE_SCOPE.with(|s| s.borrow().clone())
+}
+
+/// Bump a global oracle counter, mirroring the increment into the
+/// thread's installed scope when one is present.
+fn bump(global: &AtomicU64, pick: fn(&OracleScope) -> &AtomicU64) {
+    global.fetch_add(1, Ordering::Relaxed);
+    ORACLE_SCOPE.with(|s| {
+        if let Some(scope) = s.borrow().as_ref() {
+            pick(scope).fetch_add(1, Ordering::Relaxed);
+        }
+    });
+}
+
 /// Drain the process-wide [`OracleStats`] counters, resetting them to
 /// zero — call once per run/experiment to report cache effectiveness.
 /// Mirrors the runner's sweep-stats drain. The static-timing cost
@@ -492,7 +564,7 @@ impl TagDelayOracle {
         let bucket = operand_bucket(prev, cur, self.config.buckets_per_tag);
         let key = (tag, bucket);
         if let Some(d) = self.cache.get(&key) {
-            STAT_LOCAL_HITS.fetch_add(1, Ordering::Relaxed);
+            bump(&STAT_LOCAL_HITS, |s| &s.local_hits);
             return *d;
         }
         if let Some(state) = &mut self.screen {
@@ -501,7 +573,7 @@ impl TagDelayOracle {
                 if let Some(e) = state.screened.get(&key) {
                     if ScreenState::replayable(e, &clock) {
                         self.screen_hits += 1;
-                        STAT_SCREEN_HITS.fetch_add(1, Ordering::Relaxed);
+                        bump(&STAT_SCREEN_HITS, |s| &s.screen_hits);
                         return e.delays;
                     }
                 }
@@ -512,7 +584,7 @@ impl TagDelayOracle {
                 // unscreened oracle would hold by simulating the bucket's
                 // original first pair — not the current one.
                 self.screen_fallbacks += 1;
-                STAT_SCREEN_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+                bump(&STAT_SCREEN_FALLBACKS, |s| &s.screen_fallbacks);
                 let d = self.simulate_uncached(tag, &entry.prev, &entry.cur);
                 self.cache.insert(key, d);
                 return d;
@@ -524,7 +596,7 @@ impl TagDelayOracle {
         let full: SharedDelayKey = (tag, prev.a, prev.b, cur.a, cur.b);
         if let Some(shared) = &self.shared {
             if let Some(d) = shared.get(&full) {
-                STAT_SHARED_HITS.fetch_add(1, Ordering::Relaxed);
+                bump(&STAT_SHARED_HITS, |s| &s.shared_hits);
                 self.cache.insert(key, d);
                 return d;
             }
@@ -536,7 +608,7 @@ impl TagDelayOracle {
                 match state.bounds.screen(&self.pi_init, &self.pi_sens, &clock) {
                     ScreenVerdict::Quiet => {
                         self.screen_hits += 1;
-                        STAT_SCREEN_HITS.fetch_add(1, Ordering::Relaxed);
+                        bump(&STAT_SCREEN_HITS, |s| &s.screen_hits);
                         let d = CycleDelays {
                             min_ps: None,
                             max_ps: None,
@@ -553,7 +625,7 @@ impl TagDelayOracle {
                     }
                     ScreenVerdict::Safe { min_ps, max_ps } => {
                         self.screen_hits += 1;
-                        STAT_SCREEN_HITS.fetch_add(1, Ordering::Relaxed);
+                        bump(&STAT_SCREEN_HITS, |s| &s.screen_hits);
                         let d = CycleDelays {
                             min_ps: Some(min_ps),
                             max_ps: Some(max_ps),
@@ -570,12 +642,12 @@ impl TagDelayOracle {
                     }
                     ScreenVerdict::Inconclusive => {
                         self.screen_misses += 1;
-                        STAT_SCREEN_MISSES.fetch_add(1, Ordering::Relaxed);
+                        bump(&STAT_SCREEN_MISSES, |s| &s.screen_misses);
                     }
                 }
             } else {
                 self.screen_fallbacks += 1;
-                STAT_SCREEN_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+                bump(&STAT_SCREEN_FALLBACKS, |s| &s.screen_fallbacks);
             }
         }
         let d = self.simulate_uncached(tag, prev, cur);
@@ -591,7 +663,7 @@ impl TagDelayOracle {
         let full: SharedDelayKey = (tag, prev.a, prev.b, cur.a, cur.b);
         if let Some(shared) = &self.shared {
             if let Some(d) = shared.get(&full) {
-                STAT_SHARED_HITS.fetch_add(1, Ordering::Relaxed);
+                bump(&STAT_SHARED_HITS, |s| &s.shared_hits);
                 return d;
             }
         }
@@ -606,7 +678,7 @@ impl TagDelayOracle {
             &self.pi_sens,
         );
         self.gate_sims += 1;
-        STAT_GATE_SIMS.fetch_add(1, Ordering::Relaxed);
+        bump(&STAT_GATE_SIMS, |s| &s.gate_sims);
         let d = CycleDelays {
             min_ps: t.min_ps,
             max_ps: t.max_ps,

@@ -5,7 +5,8 @@
 //! ```text
 //! repro [--full] [--jobs N] [--out DIR] [--format text|json]
 //!       [--cache-dir DIR] [--no-cache] [--no-screen] [--no-incr]
-//!       [--vdd LIST] [--resume] [ID ...]
+//!       [--vdd LIST] [--trace-dir DIR [--record | --phases]]
+//!       [--resume] [ID ...]
 //! ```
 //!
 //! With no IDs, the whole suite runs. `--full` switches to paper-scale
@@ -37,6 +38,17 @@
 //!   whose CSV is still on disk, carrying the old record forward marked
 //!   `"resumed": true`. Failed or missing experiments run again — a
 //!   crashed suite finishes from where it stopped.
+//!
+//! `--trace-dir DIR` switches every grid cell's instruction stream from
+//! the statistical generator to recorded binary traces in `DIR`:
+//! replayed whole by default (byte-identical results to the generator
+//! when the traces were recorded from the same seeds), with `--record`
+//! generating *and* writing each cell's trace file (results identical to
+//! a plain generator run), or `--phases` replaying SimPoint-sampled
+//! weighted phases instead of whole traces (an order of magnitude fewer
+//! simulated instructions, results within a pinned tolerance).
+//! `--record` and `--phases` require `--trace-dir` and are mutually
+//! exclusive.
 //!
 //! `--no-screen` (or `NTC_SCREEN=off` in the environment) disables the
 //! conservative timing screen in front of the exact dynamic kernel.
@@ -97,6 +109,10 @@ fn run() -> i32 {
     let mut cache_dir: Option<PathBuf> = None;
     let mut no_cache = false;
     let mut resume = false;
+    let mut vdd_flag = false;
+    let mut trace_dir: Option<PathBuf> = None;
+    let mut record = false;
+    let mut phases = false;
     let mut selected: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -113,8 +129,20 @@ fn run() -> i32 {
             "--no-cache" => no_cache = true,
             "--no-screen" => ntc_experiments::config::set_screen_disabled(true),
             "--no-incr" => ntc_experiments::config::set_incr_disabled(true),
+            "--trace-dir" => match args.next() {
+                Some(dir) => trace_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--trace-dir requires a directory");
+                    return 2;
+                }
+            },
+            "--record" => record = true,
+            "--phases" => phases = true,
             "--vdd" => match args.next().as_deref().map(ntc_experiments::parse_voltages) {
-                Some(Ok(points)) => ntc_experiments::set_voltages(points),
+                Some(Ok(points)) => {
+                    vdd_flag = true;
+                    ntc_experiments::set_voltages(points);
+                }
                 Some(Err(e)) => {
                     eprintln!("--vdd: {e}");
                     return 2;
@@ -173,7 +201,7 @@ fn run() -> i32 {
                 println!(
                     "usage: repro [--full] [--jobs N] [--out DIR] [--format text|json] \
                      [--cache-dir DIR] [--no-cache] [--no-screen] [--no-incr] [--vdd LIST] \
-                     [--resume] [--list] [ID ...]\n\
+                     [--trace-dir DIR [--record | --phases]] [--resume] [--list] [ID ...]\n\
                      --cache-dir DIR  persistent grid-result cache shared across runs\n\
                      --no-cache       bypass all grid caching (cold run)\n\
                      --no-screen      disable the conservative timing screen (also NTC_SCREEN=off);\n\
@@ -182,7 +210,13 @@ fn run() -> i32 {
                      \u{20}                results are bit-identical, only static-analysis work changes\n\
                      --vdd LIST       sweep grids over these operating points (also NTC_VDD);\n\
                      \u{20}                comma-separated, e.g. `0.45,0.60,stc`; default ntc only\n\
-                     --resume         skip experiments already passing in <out>/manifest.json\n\
+                     --trace-dir DIR  replay recorded binary traces from DIR instead of the\n\
+                     \u{20}                statistical generator (see also `ntc-workload record`)\n\
+                     --record         with --trace-dir: generate and record each cell's trace\n\
+                     --phases         with --trace-dir: replay SimPoint-weighted phases instead\n\
+                     \u{20}                of whole traces (faster, tolerance-bounded results)\n\
+                     --resume         skip experiments already passing in <out>/manifest.json;\n\
+                     \u{20}                reruns records whose vdd roster or trace source changed\n\
                      exit codes: 0 all good; 1 experiment/CSV/manifest failure; \
                      2 usage error or unknown ID"
                 );
@@ -193,6 +227,42 @@ fn run() -> i32 {
                 return 2;
             }
             id => selected.push(id.to_owned()),
+        }
+    }
+
+    // Trace flags compose into one source; the modifier flags are
+    // meaningless without a directory and contradictory together.
+    if record && phases {
+        eprintln!("--record and --phases are mutually exclusive");
+        return 2;
+    }
+    let source = match (&trace_dir, record, phases) {
+        (None, false, false) => ntc_workload::TraceSource::Generator,
+        (None, true, _) => {
+            eprintln!("--record requires --trace-dir");
+            return 2;
+        }
+        (None, false, true) => {
+            eprintln!("--phases requires --trace-dir");
+            return 2;
+        }
+        (Some(dir), true, false) => ntc_workload::TraceSource::Record(dir.clone()),
+        (Some(dir), false, true) => ntc_workload::TraceSource::Phases(dir.clone()),
+        (Some(dir), false, false) => ntc_workload::TraceSource::Replay(dir.clone()),
+        (Some(_), true, true) => unreachable!("rejected above"),
+    };
+    ntc_experiments::set_workload_source(Some(source.clone()));
+    let source_label = source.to_string();
+
+    // A malformed NTC_VDD is a usage error the moment the process
+    // starts, not a mid-suite surprise — unless `--vdd` was given, which
+    // overrides the environment entirely (so a stale env var cannot veto
+    // an explicit request).
+    if !vdd_flag {
+        if let Err(e) = ntc_experiments::config::env_voltages() {
+            eprintln!("error: {e}");
+            eprintln!("fix the list or unset NTC_VDD; see `repro --list` for the roster");
+            return 2;
         }
     }
 
@@ -269,11 +339,21 @@ fn run() -> i32 {
             },
         }
     }
+    let requested_vdd: Vec<String> = ntc_experiments::voltages()
+        .iter()
+        .map(|p| p.name().to_owned())
+        .collect();
     let carry_forward = |id: &str| -> Option<RunRecord> {
         let prev = carried.iter().find(|r| r.id == id)?;
         // Only a passing record whose CSV still exists is trustworthy
         // enough to skip the work.
         if !prev.passed() || !prev.csv.as_deref().is_some_and(|p| p.is_file()) {
+            return None;
+        }
+        // A record computed over a different voltage roster or from a
+        // different trace source answers a different question — rerun it
+        // rather than resuming stale numbers under the current flags.
+        if prev.requested_vdd != requested_vdd || prev.source != source_label {
             return None;
         }
         let mut r = prev.clone();
@@ -309,6 +389,7 @@ fn run() -> i32 {
         let _ = take_oracle_stats();
         let _ = cache::take_stats();
         let _ = ntc_experiments::take_voltage_cells();
+        let _ = ntc_workload::take_stats();
         let _ = runner::take_sweep_failures();
         let start = Instant::now();
         // Experiment-level fault isolation: a panicking experiment (e.g. a
@@ -333,6 +414,9 @@ fn run() -> i32 {
                 .into_iter()
                 .map(|(point, cells)| (point.name().to_owned(), cells))
                 .collect(),
+            requested_vdd: requested_vdd.clone(),
+            source: source_label.clone(),
+            workload: ntc_workload::take_stats(),
             sweep_failures: runner::take_sweep_failures(),
             rows: 0,
             csv: None,
@@ -458,6 +542,20 @@ fn describe(r: &RunRecord) -> String {
             .map(|(name, cells)| format!("{name}={cells}"))
             .collect();
         line.push_str(&format!(", cells per vdd {}", per_point.join(" ")));
+    }
+    // Trace record/replay traffic: only present when a --trace-dir mode
+    // was active (the generator path leaves all five counters zero).
+    if r.workload.any() {
+        line.push_str(&format!(
+            ", trace {} recorded / {} replayed / {} phase-replayed",
+            r.workload.traces_recorded, r.workload.trace_replays, r.workload.phase_replays
+        ));
+        if r.workload.phase_instructions > 0 {
+            line.push_str(&format!(
+                " ({} phase instr simulated)",
+                r.workload.phase_instructions
+            ));
+        }
     }
     if !r.sweep_failures.is_empty() {
         line.push_str(&format!(

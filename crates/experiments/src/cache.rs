@@ -51,8 +51,8 @@ use std::sync::{Mutex, OnceLock};
 /// old files are ignored (never touched, never quarantined), because the
 /// new schema simply hashes to different artifact names. (`/2` added the
 /// operating-point axis: the spec's voltage list and a per-row point
-/// name.)
-pub const GRID_CACHE_SCHEMA: &str = "ntc-grid-cache/2";
+/// name; `/3` added the trace source to the spec's canonical bytes.)
+pub const GRID_CACHE_SCHEMA: &str = "ntc-grid-cache/3";
 
 /// Leading magic of every artifact file.
 const MAGIC: &[u8; 8] = b"NTCGRID1";
@@ -211,6 +211,63 @@ pub fn take_stats() -> CacheStats {
         corrupt_evictions: CORRUPT_EVICTIONS.swap(0, Ordering::SeqCst),
         bytes_written: BYTES_WRITTEN.swap(0, Ordering::SeqCst),
     }
+}
+
+/// A per-run attribution scope for the disk-cache counters. While
+/// installed on a thread (see [`set_cache_scope`]), every increment
+/// additionally lands in the scope — how a server attributes cache
+/// traffic to the job that caused it without draining the process-wide
+/// counters other callers rely on. Cache lookups and stores happen on
+/// the thread that calls `run_grid`, so installing the scope there
+/// covers all of a run's traffic.
+#[derive(Debug, Default)]
+pub struct CacheScope {
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    corrupt_evictions: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+impl CacheScope {
+    /// The counters accumulated in this scope so far (non-draining).
+    pub fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_misses: self.disk_misses.load(Ordering::Relaxed),
+            corrupt_evictions: self.corrupt_evictions.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+}
+
+thread_local! {
+    static CACHE_SCOPE: std::cell::RefCell<Option<std::sync::Arc<CacheScope>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Install (or, with `None`, clear) the calling thread's cache
+/// attribution scope, returning the previous one so callers can restore
+/// it.
+pub fn set_cache_scope(
+    scope: Option<std::sync::Arc<CacheScope>>,
+) -> Option<std::sync::Arc<CacheScope>> {
+    CACHE_SCOPE.with(|s| s.replace(scope))
+}
+
+/// The calling thread's installed cache scope, if any.
+pub fn current_cache_scope() -> Option<std::sync::Arc<CacheScope>> {
+    CACHE_SCOPE.with(|s| s.borrow().clone())
+}
+
+/// Bump a global cache counter, mirroring the increment into the
+/// thread's installed scope when one is present.
+fn bump(global: &AtomicU64, pick: fn(&CacheScope) -> &AtomicU64, n: u64) {
+    global.fetch_add(n, Ordering::Relaxed);
+    CACHE_SCOPE.with(|s| {
+        if let Some(scope) = s.borrow().as_ref() {
+            pick(scope).fetch_add(n, Ordering::Relaxed);
+        }
+    });
 }
 
 // ---------------------------------------------------------------------
@@ -547,17 +604,17 @@ pub fn load(dir: &Path, spec: &GridSpec) -> Option<GridResult> {
     let bytes = match std::fs::read(&path) {
         Ok(b) => b,
         Err(_) => {
-            DISK_MISSES.fetch_add(1, Ordering::Relaxed);
+            bump(&DISK_MISSES, |s| &s.disk_misses, 1);
             return None;
         }
     };
     match decode(&bytes, spec) {
         Decoded::Hit(grid) => {
-            DISK_HITS.fetch_add(1, Ordering::Relaxed);
+            bump(&DISK_HITS, |s| &s.disk_hits, 1);
             Some(*grid)
         }
         Decoded::OtherSpec => {
-            DISK_MISSES.fetch_add(1, Ordering::Relaxed);
+            bump(&DISK_MISSES, |s| &s.disk_misses, 1);
             None
         }
         Decoded::Corrupt(why) => {
@@ -566,8 +623,8 @@ pub fn load(dir: &Path, spec: &GridSpec) -> Option<GridResult> {
                 path.display()
             );
             quarantine(&path);
-            CORRUPT_EVICTIONS.fetch_add(1, Ordering::Relaxed);
-            DISK_MISSES.fetch_add(1, Ordering::Relaxed);
+            bump(&CORRUPT_EVICTIONS, |s| &s.corrupt_evictions, 1);
+            bump(&DISK_MISSES, |s| &s.disk_misses, 1);
             None
         }
     }
@@ -595,7 +652,7 @@ pub fn store(dir: &Path, spec: &GridSpec, result: &GridResult) -> io::Result<()>
         std::fs::remove_file(&tmp).ok();
     }
     written?;
-    BYTES_WRITTEN.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+    bump(&BYTES_WRITTEN, |s| &s.bytes_written, bytes.len() as u64);
     Ok(())
 }
 
@@ -614,6 +671,7 @@ mod tests {
             chip_seed_base: 220,
             trace_seed,
             cycles: 4_000,
+            source: ntc_workload::TraceSource::Generator,
         }
     }
 

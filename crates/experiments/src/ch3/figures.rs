@@ -121,6 +121,7 @@ fn accuracy_sweep(kinds: &[(String, SchemeSpec)], scale: Scale) -> ResultTable {
         chip_seed_base: 100,
         trace_seed: 7,
         cycles: scale.cycles(),
+        source: crate::config::workload_source(),
     });
     let multi = grid.voltages().len() > 1;
     for (bench, point, accs) in grid.rows() {
@@ -195,6 +196,7 @@ fn ch3_compare(scale: Scale) -> std::sync::Arc<GridResult> {
         chip_seed_base: 220,
         trace_seed: 7,
         cycles: scale.cycles(),
+        source: crate::config::workload_source(),
     })
 }
 

@@ -387,6 +387,7 @@ pub fn fig_4_9(scale: Scale) -> ResultTable {
         chip_seed_base: 0x49,
         trace_seed: 13,
         cycles: scale.cycles(),
+        source: crate::config::workload_source(),
     });
     let multi = grid.voltages().len() > 1;
     for (bench, point, accs) in grid.rows() {
@@ -422,6 +423,7 @@ fn ch4_compare(scale: Scale) -> std::sync::Arc<GridResult> {
         chip_seed_base: 400,
         trace_seed: 17,
         cycles: scale.cycles(),
+        source: crate::config::workload_source(),
     })
 }
 

@@ -74,15 +74,33 @@ pub fn set_voltages(points: Vec<OperatingPoint>) {
     *VOLTAGES.lock().expect("voltage roster poisoned") = points;
 }
 
+/// The `NTC_VDD` environment roster, validated through the same parser
+/// as `--vdd`: `Ok(None)` when the variable is unset, `Ok(Some(points))`
+/// for a valid list, and `Err` with the parse message otherwise. Entry
+/// points (the `repro` binary, the serve daemon) call this at startup so
+/// a bad roster is a clean usage error — exit code 2, no backtrace — not
+/// a mid-run panic.
+///
+/// # Errors
+///
+/// The [`parse_voltages`] message for an invalid or empty list.
+pub fn env_voltages() -> Result<Option<Vec<OperatingPoint>>, String> {
+    match std::env::var("NTC_VDD") {
+        Ok(list) => parse_voltages(&list).map(Some).map_err(|e| format!("NTC_VDD: {e}")),
+        Err(_) => Ok(None),
+    }
+}
+
 /// The voltage axis for grid-backed experiments: the list given to
-/// [`set_voltages`], else the `NTC_VDD` environment variable (a
+/// [`set_voltages`], else a valid `NTC_VDD` environment variable (a
 /// comma-separated list of roster names, bare voltages, or the
 /// `ntc`/`stc` aliases), else the NTC corner alone.
 ///
-/// # Panics
-///
-/// Panics when `NTC_VDD` is set but names a voltage outside the roster —
-/// a misconfigured sweep must not silently run at the default supply.
+/// An *invalid* `NTC_VDD` is ignored here with a warning on stderr — the
+/// entry points validate it up front via [`env_voltages`] and exit with
+/// a usage error, so deep inside an experiment the only sound move left
+/// is the safe default, never a panic (this used to `panic!` and take
+/// the whole run down with a backtrace mid-sweep).
 pub fn voltages() -> Vec<OperatingPoint> {
     {
         let set = VOLTAGES.lock().expect("voltage roster poisoned");
@@ -90,10 +108,39 @@ pub fn voltages() -> Vec<OperatingPoint> {
             return set.clone();
         }
     }
-    match std::env::var("NTC_VDD") {
-        Ok(list) => parse_voltages(&list).unwrap_or_else(|e| panic!("NTC_VDD: {e}")),
-        Err(_) => vec![OperatingPoint::NTC],
+    match env_voltages() {
+        Ok(Some(points)) => points,
+        Ok(None) => vec![OperatingPoint::NTC],
+        Err(e) => {
+            eprintln!("warning: {e}; sweeping the NTC corner only");
+            vec![OperatingPoint::NTC]
+        }
     }
+}
+
+/// Process-wide trace source for the grid-backed experiments — which
+/// [`TraceSource`] the figure runners put in their [`GridSpec`]s. The
+/// default is the statistical generator, keeping every legacy run
+/// byte-identical; `repro --trace-dir` (with `--record` / `--phases`)
+/// selects the record/replay paths.
+///
+/// [`GridSpec`]: crate::scenario::GridSpec
+static WORKLOAD_SOURCE: Mutex<Option<ntc_workload::TraceSource>> = Mutex::new(None);
+
+/// Select the trace source grid-backed experiments use. `None` restores
+/// the generator default.
+pub fn set_workload_source(source: Option<ntc_workload::TraceSource>) {
+    *WORKLOAD_SOURCE.lock().expect("workload source poisoned") = source;
+}
+
+/// The trace source in force ([`set_workload_source`], else the
+/// statistical generator).
+pub fn workload_source() -> ntc_workload::TraceSource {
+    WORKLOAD_SOURCE
+        .lock()
+        .expect("workload source poisoned")
+        .clone()
+        .unwrap_or(ntc_workload::TraceSource::Generator)
 }
 
 /// Parse a comma-separated voltage list (`"0.45,v0.60,stc"`) into roster

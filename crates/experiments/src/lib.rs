@@ -33,6 +33,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod ablation;
+pub mod attrib;
 pub mod cache;
 pub mod ch3;
 pub mod ch4;
@@ -43,15 +44,16 @@ pub mod runner;
 pub mod scenario;
 pub mod table;
 
-pub use cache::{CacheStats, MemoLru};
+pub use attrib::{with_counter_scope, ScopedCounters};
+pub use cache::{CacheScope, CacheStats, MemoLru};
 pub use config::{
     build_hardened_oracle, build_oracle, normalize_to_first, parse_voltages, set_voltages,
-    voltages, ClockRegime, Scale, CH3_REGIME, CH4_REGIME,
+    set_workload_source, voltages, workload_source, ClockRegime, Scale, CH3_REGIME, CH4_REGIME,
 };
 pub use report::{Manifest, RunRecord};
 pub use runner::{
     set_jobs, sweep, sweep_catching, sweep_over, take_stats, take_sweep_failures, IndexFailure,
-    SweepStats,
+    SweepScope, SweepStats,
 };
 pub use scenario::{
     row_label, run_grid, run_grid_traced, run_grid_uncached, screen_run_order, take_voltage_cells,

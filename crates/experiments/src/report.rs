@@ -29,8 +29,10 @@ use std::time::Duration;
 /// (`/2` added the per-record `cache` counters and `resumed` marker;
 /// `/3` added the oracle screen counters; `/4` the incremental-STA
 /// counters `sta_full` / `sta_incremental` / `incr_gates_touched`;
-/// `/5` the per-operating-point `voltages` cell counters.)
-pub const MANIFEST_SCHEMA: &str = "ntc-repro-manifest/5";
+/// `/5` the per-operating-point `voltages` cell counters; `/6` the
+/// requested voltage roster, the workload trace `source`, and the
+/// `workload` record/replay counters.)
+pub const MANIFEST_SCHEMA: &str = "ntc-repro-manifest/6";
 
 /// Telemetry of one experiment run inside a `repro` invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +58,18 @@ pub struct RunRecord {
     /// memo and disk hits do not count, mirroring the oracle/cache
     /// counter semantics. Empty for non-grid experiments.
     pub voltages: Vec<(String, u64)>,
+    /// Operating-point names the run was *asked* to sweep, roster
+    /// order. Unlike [`RunRecord::voltages`] this is the request, not
+    /// the computed counts — `--resume` compares it against the current
+    /// roster and recomputes on mismatch rather than carrying forward
+    /// results for the wrong voltage set.
+    pub requested_vdd: Vec<String>,
+    /// Workload trace source the run used (`"generator"`,
+    /// `"replay:<dir>"`, `"phases:<dir>"`, …) — `--resume` recomputes
+    /// when it differs, same as the voltage roster.
+    pub source: String,
+    /// Trace record/replay counters drained after this experiment.
+    pub workload: ntc_workload::WorkloadStats,
     /// Per-index panics caught by `runner::sweep_catching` during this
     /// experiment (empty for strict sweeps, which fail the whole record).
     pub sweep_failures: Vec<IndexFailure>,
@@ -119,6 +133,26 @@ impl RunRecord {
                 s.push(',');
             }
             let _ = write!(s, "\"{name}\":{count}");
+        }
+        s.push('}');
+        s.push(',');
+        s.push_str("\"requested_vdd\":[");
+        for (i, name) in self.requested_vdd.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            push_json_str(&mut s, name);
+        }
+        s.push(']');
+        s.push(',');
+        push_key_str(&mut s, "source", &self.source);
+        s.push(',');
+        s.push_str("\"workload\":{");
+        for (i, (name, value)) in self.workload.fields().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{name}\":{value}");
         }
         s.push('}');
         s.push(',');
@@ -209,6 +243,27 @@ impl RunRecord {
                 .collect::<Result<Vec<_>, _>>()?,
             _ => return Err("record member \"voltages\" missing or not an object".to_owned()),
         };
+        let requested_vdd = v
+            .get("requested_vdd")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| "record member \"requested_vdd\" missing or not an array".to_owned())?
+            .iter()
+            .map(|name| {
+                name.as_str()
+                    .map(str::to_owned)
+                    .ok_or_else(|| "requested_vdd entry not a string".to_owned())
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let workload_obj = v
+            .get("workload")
+            .ok_or_else(|| "record member \"workload\" missing".to_owned())?;
+        let workload = ntc_workload::WorkloadStats {
+            traces_recorded: u64_of(workload_obj, "traces_recorded")?,
+            trace_replays: u64_of(workload_obj, "trace_replays")?,
+            phase_replays: u64_of(workload_obj, "phase_replays")?,
+            replayed_instructions: u64_of(workload_obj, "replayed_instructions")?,
+            phase_instructions: u64_of(workload_obj, "phase_instructions")?,
+        };
         let mut sweep_failures = Vec::new();
         for f in v
             .get("sweep_failures")
@@ -252,6 +307,9 @@ impl RunRecord {
             oracle,
             cache,
             voltages,
+            requested_vdd,
+            source: str_of(v, "source")?,
+            workload,
             sweep_failures,
             rows: usize::try_from(u64_of(v, "rows")?)
                 .map_err(|_| "record member \"rows\" out of range".to_owned())?,
@@ -847,6 +905,15 @@ mod tests {
                 bytes_written: 4096,
             },
             voltages: vec![("v0.45".to_owned(), 30), ("v0.60".to_owned(), 30)],
+            requested_vdd: vec!["v0.45".to_owned(), "v0.60".to_owned()],
+            source: "generator".to_owned(),
+            workload: ntc_workload::WorkloadStats {
+                traces_recorded: 2,
+                trace_replays: 4,
+                phase_replays: 0,
+                replayed_instructions: 120_000,
+                phase_instructions: 0,
+            },
             sweep_failures: Vec::new(),
             rows: 6,
             csv: Some(PathBuf::from("target/repro/x.csv")),
@@ -870,6 +937,16 @@ mod tests {
         let volts = parsed.get("voltages").unwrap();
         assert_eq!(volts.keys(), Some(vec!["v0.45", "v0.60"]));
         assert_eq!(volts.get("v0.60").unwrap().as_u64(), Some(30));
+        let roster = parsed.get("requested_vdd").unwrap().as_arr().unwrap();
+        assert_eq!(roster[0].as_str(), Some("v0.45"));
+        assert_eq!(roster[1].as_str(), Some("v0.60"));
+        assert_eq!(parsed.get("source").unwrap().as_str(), Some("generator"));
+        let wl = parsed.get("workload").unwrap();
+        assert_eq!(wl.get("trace_replays").unwrap().as_u64(), Some(4));
+        assert_eq!(
+            wl.get("replayed_instructions").unwrap().as_u64(),
+            Some(120_000)
+        );
         assert_eq!(parsed.get("error"), Some(&Json::Null));
     }
 

@@ -138,6 +138,59 @@ pub fn take_stats() -> SweepStats {
     }
 }
 
+/// A per-run attribution scope for the sweep busy/wall counters. While
+/// installed on a thread (see [`set_sweep_scope`]), every accounting add
+/// additionally lands in the scope — how a server attributes sweep time
+/// to the job that ran it while concurrent jobs share the process-wide
+/// counters. Both busy and wall time are recorded on the thread that
+/// *calls* [`sweep`] (workers hand their busy time back to the join
+/// loop), so installing the scope on the calling thread is sufficient.
+#[derive(Debug, Default)]
+pub struct SweepScope {
+    busy_nanos: AtomicU64,
+    wall_nanos: AtomicU64,
+}
+
+impl SweepScope {
+    /// The time accumulated in this scope so far (non-draining).
+    pub fn snapshot(&self) -> SweepStats {
+        SweepStats {
+            busy: Duration::from_nanos(self.busy_nanos.load(Ordering::Relaxed)),
+            wall: Duration::from_nanos(self.wall_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+thread_local! {
+    static SWEEP_SCOPE: std::cell::RefCell<Option<std::sync::Arc<SweepScope>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Install (or, with `None`, clear) the calling thread's sweep
+/// attribution scope, returning the previous one so callers can restore
+/// it.
+pub fn set_sweep_scope(
+    scope: Option<std::sync::Arc<SweepScope>>,
+) -> Option<std::sync::Arc<SweepScope>> {
+    SWEEP_SCOPE.with(|s| s.replace(scope))
+}
+
+/// The calling thread's installed sweep scope, if any.
+pub fn current_sweep_scope() -> Option<std::sync::Arc<SweepScope>> {
+    SWEEP_SCOPE.with(|s| s.borrow().clone())
+}
+
+/// Add nanoseconds to a global counter, mirroring into the calling
+/// thread's installed scope when one is present.
+fn account(global: &AtomicU64, pick: fn(&SweepScope) -> &AtomicU64, nanos: u64) {
+    global.fetch_add(nanos, Ordering::Relaxed);
+    SWEEP_SCOPE.with(|s| {
+        if let Some(scope) = s.borrow().as_ref() {
+            pick(scope).fetch_add(nanos, Ordering::Relaxed);
+        }
+    });
+}
+
 /// Run `f(0), f(1), …, f(n-1)` across worker threads and return the
 /// results in index order — bit-identical to the sequential loop for any
 /// thread count (see the module docs for why).
@@ -173,17 +226,28 @@ where
         // Inline fast path: identical semantics, zero thread overhead.
         let busy_start = Instant::now();
         let out = catch_unwind(AssertUnwindSafe(|| (0..n).map(f).collect::<Vec<T>>()));
-        BUSY_NANOS.fetch_add(busy_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        account(
+            &BUSY_NANOS,
+            |s| &s.busy_nanos,
+            busy_start.elapsed().as_nanos() as u64,
+        );
         out
     } else {
         let next = AtomicUsize::new(0);
         let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
         let mut first_panic: Option<Payload> = None;
+        // Scoped thread-local state (the oracle attribution scope) does
+        // not cross thread boundaries on its own; hand the caller's
+        // scope to each worker so a server job's oracle counters include
+        // the work its sweep fanned out.
+        let oracle_scope = ntc_core::current_oracle_scope();
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let next = &next;
+                    let oracle_scope = oracle_scope.clone();
                     s.spawn(move || {
+                        ntc_core::set_oracle_scope(oracle_scope);
                         let busy_start = Instant::now();
                         let mut local: Vec<(usize, T)> = Vec::new();
                         // Catch inside the worker so a panicking task still
@@ -203,7 +267,7 @@ where
                 .collect();
             for h in handles {
                 let (local, busy, panic) = h.join().expect("worker catches its own panics");
-                BUSY_NANOS.fetch_add(busy.as_nanos() as u64, Ordering::Relaxed);
+                account(&BUSY_NANOS, |s| &s.busy_nanos, busy.as_nanos() as u64);
                 for (i, t) in local {
                     slots[i] = Some(t);
                 }
@@ -220,7 +284,11 @@ where
                 .collect()),
         }
     };
-    WALL_NANOS.fetch_add(wall_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    account(
+        &WALL_NANOS,
+        |s| &s.wall_nanos,
+        wall_start.elapsed().as_nanos() as u64,
+    );
     result
 }
 

@@ -38,7 +38,7 @@ use ntc_core::sim::{run_scheme, SimResult};
 use ntc_core::tag_delay::TagDelayOracle;
 use ntc_pipeline::Pipeline;
 use ntc_varmodel::OperatingPoint;
-use ntc_workload::{Benchmark, TraceGenerator};
+use ntc_workload::{Benchmark, TraceSource};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// The two evaluation regimes of the study, as grid-spec data (the
@@ -100,6 +100,10 @@ pub struct GridSpec {
     pub trace_seed: u64,
     /// Trace length per cell, instructions.
     pub cycles: usize,
+    /// Where each cell's instruction stream comes from: the statistical
+    /// generator (the legacy path), record-while-generating, whole-trace
+    /// replay, or weighted SimPoint phases.
+    pub source: TraceSource,
 }
 
 impl GridSpec {
@@ -135,6 +139,21 @@ impl GridSpec {
         push_u64(&mut out, self.voltages.len() as u64);
         for v in &self.voltages {
             push_str(&mut out, v.name());
+        }
+        // The trace source, appended after the voltage axis (schema /3).
+        // `Record` deliberately encodes exactly like `Generator` (the
+        // canonical tag aliases them): a recording run simulates the
+        // generated stream, so the two must share cache identity. Replay
+        // and phase sources append their directory too — note the key
+        // covers the *path*, not the files' contents, so replacing trace
+        // files in place under the same directory requires `--no-cache`
+        // (or a fresh directory) to avoid stale artifact hits.
+        push_str(&mut out, self.source.canon_tag());
+        match &self.source {
+            TraceSource::Generator | TraceSource::Record(_) => {}
+            TraceSource::Replay(dir) | TraceSource::Phases(dir) => {
+                push_str(&mut out, &dir.display().to_string());
+            }
         }
         out
     }
@@ -314,16 +333,25 @@ pub fn screen_run_order(schemes: &[SchemeSpec]) -> Vec<usize> {
 /// oracle(s) at the cell's supply, derive the regime clocks from the
 /// *bare* die's nominal critical delay at that supply (the canonical
 /// clock policy — buffer padding must not slow the target clock), and run
-/// every scheme of the spec over one shared trace. Schemes execute in
-/// [`screen_run_order`]; the returned results are in spec order
+/// every scheme of the spec over the cell's weighted trace segments (one
+/// whole trace for generator/record/replay sources; the SimPoint
+/// representatives for phase sources). Within each segment schemes
+/// execute in [`screen_run_order`]; the returned results are
+/// `[scheme][segment]` pairs of `(result, fold weight)` in spec order
 /// regardless.
+///
+/// Oracles persist across the segments of a cell — a cached `(tag,
+/// bucket)` delay is a pure function of the chip, so phase replays reuse
+/// Phase-A work exactly like one longer trace would. Schemes are rebuilt
+/// fresh per segment (each representative stands for an interval run on
+/// its own, per the SimPoint model).
 fn run_cell(
     spec: &GridSpec,
     bench: Benchmark,
     point: OperatingPoint,
     chip: usize,
     need_buffered: bool,
-) -> Vec<SimResult> {
+) -> Vec<Vec<(SimResult, u64)>> {
     let regime = spec.regime.params();
     let seed = spec.chip_seed_base + chip as u64;
     let corner = point.corner();
@@ -339,58 +367,71 @@ fn run_cell(
     // Selectively-hardened chip variants (the `harden-choke` ablation),
     // built on first use per distinct top-k of the spec.
     let mut hardened: Vec<(usize, TagDelayOracle)> = Vec::new();
-    let trace = TraceGenerator::new(bench, spec.trace_seed).trace(spec.cycles);
-    let mut results: Vec<Option<SimResult>> = vec![None; spec.schemes.len()];
-    for i in screen_run_order(&spec.schemes) {
-        let s = &spec.schemes[i];
-        let (oracle, static_critical) = if let Some(top_k) = s.hardened_top_k() {
-            let idx = match hardened.iter().position(|(k, _)| *k == top_k) {
-                Some(idx) => idx,
-                None => {
-                    hardened.push((
-                        top_k,
-                        build_hardened_oracle(
-                            corner,
-                            seed,
-                            s.wants_buffered_netlist(),
-                            regime,
-                            top_k,
-                        ),
-                    ));
-                    hardened.len() - 1
-                }
-            };
-            let o = &mut hardened[idx].1;
-            let static_critical = o.static_critical_delay_ps();
-            (o, static_critical)
-        } else if s.wants_buffered_netlist() {
-            (
-                buffered.as_mut().expect("buffered oracle built on demand"),
-                buffered_static.expect("buffered oracle built on demand"),
+    let segments = spec
+        .source
+        .segments(bench, spec.trace_seed, spec.cycles)
+        .unwrap_or_else(|e| {
+            panic!(
+                "trace source {} cannot resolve cell ({}, seed {}, {} cycles): {e}",
+                spec.source,
+                bench.name(),
+                spec.trace_seed,
+                spec.cycles
             )
-        } else {
-            (&mut bare, bare_static)
-        };
-        let scheme_clock = if s.uses_tdc_clock() { tdc_clock } else { clock };
-        let ctx = ChipContext {
-            static_critical_delay_ps: static_critical,
-            clock: scheme_clock,
-            trace_len: trace.len(),
-            point,
-        };
-        let mut scheme = s.build(&ctx);
-        results[i] = Some(run_scheme(
-            scheme.as_mut(),
-            oracle,
-            &trace,
-            scheme_clock,
-            Pipeline::core1(),
-        ));
+        });
+    let mut results: Vec<Vec<(SimResult, u64)>> = vec![Vec::new(); spec.schemes.len()];
+    for segment in &segments {
+        for i in screen_run_order(&spec.schemes) {
+            let s = &spec.schemes[i];
+            let (oracle, static_critical) = if let Some(top_k) = s.hardened_top_k() {
+                let idx = match hardened.iter().position(|(k, _)| *k == top_k) {
+                    Some(idx) => idx,
+                    None => {
+                        hardened.push((
+                            top_k,
+                            build_hardened_oracle(
+                                corner,
+                                seed,
+                                s.wants_buffered_netlist(),
+                                regime,
+                                top_k,
+                            ),
+                        ));
+                        hardened.len() - 1
+                    }
+                };
+                let o = &mut hardened[idx].1;
+                let static_critical = o.static_critical_delay_ps();
+                (o, static_critical)
+            } else if s.wants_buffered_netlist() {
+                (
+                    buffered.as_mut().expect("buffered oracle built on demand"),
+                    buffered_static.expect("buffered oracle built on demand"),
+                )
+            } else {
+                (&mut bare, bare_static)
+            };
+            let scheme_clock = if s.uses_tdc_clock() { tdc_clock } else { clock };
+            let ctx = ChipContext {
+                static_critical_delay_ps: static_critical,
+                clock: scheme_clock,
+                trace_len: segment.trace.len(),
+                point,
+            };
+            let mut scheme = s.build(&ctx);
+            results[i].push((
+                run_scheme(
+                    scheme.as_mut(),
+                    oracle,
+                    &segment.trace,
+                    scheme_clock,
+                    Pipeline::core1(),
+                ),
+                segment.weight,
+            ));
+        }
     }
     results
-        .into_iter()
-        .map(|r| r.expect("every scheme of the spec ran"))
-        .collect()
 }
 
 /// Per-voltage cell counters: how many grid cells were *computed* (not
@@ -438,8 +479,18 @@ pub fn run_grid_uncached(spec: &GridSpec) -> GridResult {
         cells,
         || vec![SimAccumulator::default(); spec.schemes.len()],
         |accs, results| {
-            for (acc, r) in accs.iter_mut().zip(&results) {
-                acc.push(r);
+            for (acc, segments) in accs.iter_mut().zip(&results) {
+                for (r, w) in segments {
+                    // Weight-1 segments go through the plain fold so
+                    // whole-trace grids stay bit-identical to every
+                    // pre-trace release (`push_weighted(r, 1)` multiplies
+                    // the f64 sums by 1.0, which is not that guarantee).
+                    if *w == 1 {
+                        acc.push(r);
+                    } else {
+                        acc.push_weighted(r, *w);
+                    }
+                }
             }
         },
     );
@@ -581,6 +632,7 @@ mod tests {
             chip_seed_base: 220,
             trace_seed: 7,
             cycles: 2_000,
+            source: TraceSource::Generator,
         };
         let cached = run_grid(&spec);
         let fresh = run_grid_uncached(&spec);
@@ -606,6 +658,7 @@ mod tests {
             chip_seed_base: 1,
             trace_seed: 2,
             cycles: 100,
+            source: TraceSource::Generator,
         };
         assert_eq!(
             spec.row_groups(),

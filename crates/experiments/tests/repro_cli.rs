@@ -196,6 +196,35 @@ fn bad_flag_and_bad_format_exit_2() {
     assert_eq!(run(repro().arg("--cache-dir")).status.code(), Some(2));
 }
 
+#[test]
+fn malformed_ntc_vdd_is_a_startup_usage_error_unless_vdd_overrides_it() {
+    let out = out_dir("bad-env");
+    // A garbage NTC_VDD must be rejected before any experiment runs:
+    // exit code 2, a message naming the variable, no output directory.
+    // (This used to panic with a backtrace mid-sweep.)
+    let result = run(repro()
+        .env("NTC_VDD", "0.62,bogus")
+        .args(["--fast", "--out", out.to_str().unwrap(), "fig3.4"]));
+    assert_eq!(result.status.code(), Some(2), "usage error, not a panic");
+    let stderr = String::from_utf8_lossy(&result.stderr);
+    assert!(stderr.contains("NTC_VDD"), "names the variable: {stderr}");
+    assert!(!stderr.contains("panicked"), "no backtrace: {stderr}");
+    assert!(!out.exists(), "nothing may run under a malformed roster");
+
+    // An explicit --vdd replaces the environment roster entirely, so the
+    // same garbage NTC_VDD is irrelevant and the run succeeds.
+    let result = run(repro().env("NTC_VDD", "0.62,bogus").args([
+        "--fast",
+        "--vdd",
+        "v0.45",
+        "--out",
+        out.to_str().unwrap(),
+        "fig3.4",
+    ]));
+    assert_eq!(result.status.code(), Some(0), "--vdd overrides a bad NTC_VDD");
+    std::fs::remove_dir_all(&out).ok();
+}
+
 /// The first record of an on-disk manifest, parsed.
 fn first_record(out: &std::path::Path) -> Json {
     let body = std::fs::read_to_string(out.join("manifest.json")).expect("manifest written");
@@ -249,6 +278,68 @@ fn resume_skips_passing_experiments_and_completes_the_rest() {
         std::fs::read(&csv_path).expect("CSV still exists"),
         csv_before,
         "the resumed experiment's CSV is untouched"
+    );
+    std::fs::remove_dir_all(&out).ok();
+}
+
+#[test]
+fn resume_reruns_when_the_voltage_roster_changes() {
+    let out = out_dir("resume-vdd");
+    // Baseline manifest at the default single-point roster.
+    let result = run(repro()
+        .env_remove("NTC_VDD")
+        .args(["--fast", "--out", out.to_str().unwrap(), "fig3.4"]));
+    assert_eq!(result.status.code(), Some(0));
+    assert_eq!(
+        first_record(&out).get("requested_vdd").unwrap().as_arr().unwrap().len(),
+        1,
+        "default roster is one operating point"
+    );
+
+    // Resuming under a wider --vdd roster must NOT carry the old record
+    // forward: its grids were computed at a different voltage axis, so
+    // the experiment reruns and the manifest records the new roster.
+    let result = run(repro().env_remove("NTC_VDD").args([
+        "--fast",
+        "--resume",
+        "--vdd",
+        "v0.45,v0.60",
+        "--out",
+        out.to_str().unwrap(),
+        "fig3.4",
+    ]));
+    assert_eq!(result.status.code(), Some(0));
+    let rec = first_record(&out);
+    assert_eq!(
+        rec.get("resumed"),
+        Some(&Json::Bool(false)),
+        "a stale voltage roster must force a rerun"
+    );
+    let roster: Vec<String> = rec
+        .get("requested_vdd")
+        .unwrap()
+        .as_arr()
+        .unwrap()
+        .iter()
+        .map(|p| p.as_str().unwrap().to_owned())
+        .collect();
+    assert_eq!(roster, ["v0.45", "v0.60"], "manifest records the roster it ran");
+
+    // Resuming again under the SAME roster does carry forward.
+    let result = run(repro().env_remove("NTC_VDD").args([
+        "--fast",
+        "--resume",
+        "--vdd",
+        "v0.45,v0.60",
+        "--out",
+        out.to_str().unwrap(),
+        "fig3.4",
+    ]));
+    assert_eq!(result.status.code(), Some(0));
+    assert_eq!(
+        first_record(&out).get("resumed"),
+        Some(&Json::Bool(true)),
+        "an unchanged roster resumes cleanly"
     );
     std::fs::remove_dir_all(&out).ok();
 }

@@ -24,6 +24,11 @@
 //! {"op":"shutdown"}
 //! ```
 //!
+//! A grid spec may also carry `"trace_dir":"<server-local dir>"` to
+//! replay recorded binary traces instead of the statistical generator,
+//! plus `"phases":true` to replay SimPoint-weighted phases of those
+//! traces; both are optional and absent means the generator.
+//!
 //! # Responses
 //!
 //! Success: `{"ok":true,"op":...,...}`; compute responses add `"csv"`
@@ -177,6 +182,30 @@ fn spec_from_json(v: &Json) -> Result<GridSpec, String> {
         .and_then(Json::as_str)
         .ok_or("spec: missing string field \"regime\"")?;
     let regime = Regime::parse(regime).ok_or_else(|| format!("unknown regime {regime:?}"))?;
+    // The trace source is optional on the wire: an absent "trace_dir"
+    // keeps the statistical generator (every pre-trace client is
+    // byte-compatible); present, the server replays recorded traces
+    // from that server-local directory — whole by default, SimPoint
+    // phases with `"phases":true`. Recording is deliberately not
+    // servable: clients must not make the daemon write trace files.
+    let phases = match v.get("phases") {
+        None => false,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => return Err("spec: \"phases\" must be a boolean".into()),
+    };
+    let source = match v.get("trace_dir") {
+        None => {
+            if phases {
+                return Err("spec: \"phases\" requires \"trace_dir\"".into());
+            }
+            ntc_workload::TraceSource::Generator
+        }
+        Some(Json::Str(dir)) if phases => {
+            ntc_workload::TraceSource::Phases(std::path::PathBuf::from(dir))
+        }
+        Some(Json::Str(dir)) => ntc_workload::TraceSource::Replay(std::path::PathBuf::from(dir)),
+        Some(_) => return Err("spec: \"trace_dir\" must be a string".into()),
+    };
     // The voltage axis is optional on the wire: an absent "vdd" pins the
     // grid to the single NTC point, which keeps every pre-axis client
     // byte-compatible.
@@ -204,6 +233,7 @@ fn spec_from_json(v: &Json) -> Result<GridSpec, String> {
         chip_seed_base: u64_field(v, "chip_seed_base")?,
         trace_seed: u64_field(v, "trace_seed")?,
         cycles: u64_field(v, "cycles")? as usize,
+        source,
     })
 }
 
@@ -489,6 +519,44 @@ mod tests {
             );
             assert!(parse_request(&line).is_err(), "{vdd} must be rejected");
         }
+    }
+
+    #[test]
+    fn trace_fields_select_the_spec_source() {
+        let spec_of = |extra: &str| {
+            let line = format!(
+                r#"{{"op":"grid","spec":{{"benchmarks":["mcf"],"chips":1,
+                    "schemes":["razor"],"regime":"ch3"{extra},
+                    "chip_seed_base":0,"trace_seed":0,"cycles":100}}}}"#
+            );
+            match parse_request(&line) {
+                Ok(Request::Grid { spec }) => Ok(spec),
+                Ok(other) => panic!("expected grid, got {other:?}"),
+                Err(e) => Err(e),
+            }
+        };
+        // Absent → generator, the pre-trace wire shape.
+        assert_eq!(
+            spec_of("").unwrap().source,
+            ntc_workload::TraceSource::Generator
+        );
+        assert_eq!(
+            spec_of(r#","trace_dir":"/tmp/t""#).unwrap().source,
+            ntc_workload::TraceSource::Replay("/tmp/t".into())
+        );
+        assert_eq!(
+            spec_of(r#","trace_dir":"/tmp/t","phases":true"#).unwrap().source,
+            ntc_workload::TraceSource::Phases("/tmp/t".into())
+        );
+        assert_eq!(
+            spec_of(r#","trace_dir":"/tmp/t","phases":false"#).unwrap().source,
+            ntc_workload::TraceSource::Replay("/tmp/t".into())
+        );
+        // Phases without a directory, or mistyped fields, are bad requests.
+        let err = spec_of(r#","phases":true"#).expect_err("phases needs trace_dir");
+        assert!(err.contains("trace_dir"), "{err}");
+        assert!(spec_of(r#","trace_dir":7"#).is_err());
+        assert!(spec_of(r#","trace_dir":"/tmp/t","phases":"yes""#).is_err());
     }
 
     #[test]

@@ -16,7 +16,6 @@ use crate::protocol::{
     table_csv, ErrorCode, JobCounters, Receipt, Request,
 };
 use ntc_core::scenario::SchemeSpec;
-use ntc_core::tag_delay::take_oracle_stats;
 use ntc_experiments::scenario::GridTier;
 use ntc_experiments::{all_experiments, cache, runner, scenario, Scale};
 use ntc_workload::ALL_BENCHMARKS;
@@ -431,16 +430,19 @@ impl Server {
                 if !self.cfg.hold_before_compute.is_zero() {
                     std::thread::sleep(self.cfg.hold_before_compute);
                 }
-                // Drain-and-discard so the post-compute drain is scoped
-                // to this job (exact at budget 1, the repro pattern).
-                let _ = runner::take_stats();
-                let _ = take_oracle_stats();
-                let _ = cache::take_stats();
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                // Per-job attribution scopes: the engines mirror every
+                // counter increment into the scopes installed here (the
+                // sweep engine forwards them into its workers), so each
+                // concurrent compute bills exactly its own work — no
+                // drain races at budgets above 1. The process-global
+                // counters keep ticking undisturbed.
+                let (outcome, scoped) = ntc_experiments::with_counter_scope(|| {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(job))
+                });
                 let counters = JobCounters {
-                    sweep: runner::take_stats(),
-                    oracle: take_oracle_stats(),
-                    cache: cache::take_stats(),
+                    sweep: scoped.sweep,
+                    oracle: scoped.oracle,
+                    cache: scoped.cache,
                 };
                 let queue_wait_us = permit.queue_wait.as_micros() as u64;
                 drop(permit);

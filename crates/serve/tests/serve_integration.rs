@@ -40,6 +40,7 @@ mod ntc_choke_serve_tests {
             chip_seed_base: 940,
             trace_seed: 11,
             cycles: 2_000,
+            source: ntc_workload::TraceSource::Generator,
         }
     }
 
@@ -103,6 +104,14 @@ mod ntc_choke_serve_tests {
             .and_then(|r| r.get("coalesced_with"))
             .and_then(Json::as_u64)
             .expect("receipt carries coalesced_with")
+    }
+
+    pub fn receipt_oracle(v: &Json, key: &str) -> u64 {
+        v.get("receipt")
+            .and_then(|r| r.get("oracle"))
+            .and_then(|o| o.get(key))
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("receipt carries oracle counter {key:?}"))
     }
 }
 
@@ -274,6 +283,48 @@ fn daemon_serves_coalesced_concurrent_clients_byte_identically() {
         responses[2]
     );
     assert!(responses[3].contains("\"ok\":true"), "connection survived");
+    shutdown(&addr, handle);
+
+    // ---- Scenario 6: per-request counters are disjoint at budget 2 ---
+    // Two clients compute *different* cold grids concurrently. Scoped
+    // attribution must split the oracle work exactly: each receipt
+    // bills only its own compute (nonzero), and the two receipts
+    // together account for every global increment — no double counting,
+    // no leakage between concurrent jobs.
+    let (addr, handle) = start_server(&dir, "scoped", |cfg| {
+        cfg.cache_dir = None;
+        cfg.jobs = Some(2);
+        cfg.budget = 2;
+    });
+    let grid_a = GRID_LINE.replace("\"trace_seed\":11", "\"trace_seed\":13");
+    let grid_b = GRID_LINE.replace("\"trace_seed\":11", "\"trace_seed\":14");
+    let _ = ntc_core::tag_delay::take_oracle_stats();
+    let (resp_a, resp_b) = std::thread::scope(|s| {
+        let addr = &addr;
+        let (ga, gb) = (&grid_a, &grid_b);
+        let a = s.spawn(move || client::roundtrip(addr, ga).expect("grid a roundtrip"));
+        let b = s.spawn(move || client::roundtrip(addr, gb).expect("grid b roundtrip"));
+        (
+            parse_json(&a.join().expect("client a")).expect("json a"),
+            parse_json(&b.join().expect("client b")).expect("json b"),
+        )
+    });
+    let global = ntc_core::tag_delay::take_oracle_stats();
+    for (resp, label) in [(&resp_a, "a"), (&resp_b, "b")] {
+        assert_eq!(resp.get("ok"), Some(&Json::Bool(true)), "grid {label} ok");
+        assert_eq!(receipt_tier(resp), "computed", "grid {label} computed");
+        assert!(
+            receipt_oracle(resp, "gate_sims") > 0,
+            "grid {label} billed its own compute"
+        );
+    }
+    for (key, total) in global.fields() {
+        assert_eq!(
+            receipt_oracle(&resp_a, key) + receipt_oracle(&resp_b, key),
+            total,
+            "scoped {key} counters sum to the global delta"
+        );
+    }
     shutdown(&addr, handle);
 
     let _ = std::fs::remove_dir_all(&dir);

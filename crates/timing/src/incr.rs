@@ -67,6 +67,68 @@ static STAT_STA_FULL: AtomicU64 = AtomicU64::new(0);
 static STAT_STA_INCREMENTAL: AtomicU64 = AtomicU64::new(0);
 static STAT_INCR_GATES_TOUCHED: AtomicU64 = AtomicU64::new(0);
 
+/// A per-run attribution scope for the STA counters. While installed on
+/// a thread (see [`set_sta_scope`]), every increment lands in the scope
+/// *in addition to* the process-wide drain — so a server handling
+/// concurrent jobs can attribute timing work to the job that caused it
+/// without perturbing the global telemetry other callers drain.
+#[derive(Debug, Default)]
+pub struct StaScope {
+    sta_full: AtomicU64,
+    sta_incremental: AtomicU64,
+    incr_gates_touched: AtomicU64,
+}
+
+impl StaScope {
+    /// The counters accumulated in this scope so far (non-draining).
+    pub fn snapshot(&self) -> StaCounters {
+        StaCounters {
+            sta_full: self.sta_full.load(Ordering::Relaxed),
+            sta_incremental: self.sta_incremental.load(Ordering::Relaxed),
+            incr_gates_touched: self.incr_gates_touched.load(Ordering::Relaxed),
+        }
+    }
+}
+
+thread_local! {
+    static STA_SCOPE: std::cell::RefCell<Option<std::sync::Arc<StaScope>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Install (or, with `None`, clear) the calling thread's STA attribution
+/// scope, returning the previously installed one so callers can restore
+/// it. The scope is an `Arc`: install the same one on every worker
+/// thread of a run to aggregate across them.
+pub fn set_sta_scope(scope: Option<std::sync::Arc<StaScope>>) -> Option<std::sync::Arc<StaScope>> {
+    STA_SCOPE.with(|s| s.replace(scope))
+}
+
+/// The calling thread's installed STA scope, if any — what a sweep
+/// captures before spawning workers so the workers inherit it.
+pub fn current_sta_scope() -> Option<std::sync::Arc<StaScope>> {
+    STA_SCOPE.with(|s| s.borrow().clone())
+}
+
+/// Bump a global counter and mirror the increment into the thread's
+/// installed scope, if any.
+fn bump(global: &AtomicU64, pick: fn(&StaScope) -> &AtomicU64, n: u64) {
+    global.fetch_add(n, Ordering::Relaxed);
+    STA_SCOPE.with(|s| {
+        if let Some(scope) = s.borrow().as_ref() {
+            pick(scope).fetch_add(n, Ordering::Relaxed);
+        }
+    });
+}
+
+fn note_incremental(touched: u64) {
+    bump(&STAT_STA_INCREMENTAL, |s| &s.sta_incremental, 1);
+    note_gates_touched(touched);
+}
+
+fn note_gates_touched(n: u64) {
+    bump(&STAT_INCR_GATES_TOUCHED, |s| &s.incr_gates_touched, n);
+}
+
 /// Total incremental re-timing passes in this process so far (forward
 /// arrival repropagations; screen refreshes ride along with them).
 pub fn retime_count() -> u64 {
@@ -77,7 +139,7 @@ pub fn retime_count() -> u64 {
 /// [`StaticTiming::analyze_into`], so every full analysis in the process
 /// counts, whichever entry point ran it).
 pub(crate) fn note_full_analysis() {
-    STAT_STA_FULL.fetch_add(1, Ordering::Relaxed);
+    bump(&STAT_STA_FULL, |s| &s.sta_full, 1);
 }
 
 /// Static-timing cost counters since the last [`take_sta_counters`]
@@ -296,8 +358,7 @@ impl IncrementalSta {
         }
         let touched = self.propagate(nl, scan_from);
         RETIME_COUNT.fetch_add(1, Ordering::Relaxed);
-        STAT_STA_INCREMENTAL.fetch_add(1, Ordering::Relaxed);
-        STAT_INCR_GATES_TOUCHED.fetch_add(touched, Ordering::Relaxed);
+        note_incremental(touched);
         RetimeOutcome {
             full: false,
             delay_changes: self.changed.len(),
@@ -335,8 +396,7 @@ impl IncrementalSta {
             0
         };
         RETIME_COUNT.fetch_add(1, Ordering::Relaxed);
-        STAT_STA_INCREMENTAL.fetch_add(1, Ordering::Relaxed);
-        STAT_INCR_GATES_TOUCHED.fetch_add(touched, Ordering::Relaxed);
+        note_incremental(touched);
         RetimeOutcome {
             full: false,
             delay_changes: self.changed.len(),
@@ -473,7 +533,7 @@ impl IncrementalScreen {
             self.pending.resize(nl.len().div_ceil(64), 0);
             self.remaining = 0;
             let n = nl.len() as u64;
-            STAT_INCR_GATES_TOUCHED.fetch_add(n, Ordering::Relaxed);
+            note_gates_touched(n);
             return n;
         }
         let bounds = self.bounds.as_mut().expect("just checked Some");
@@ -556,7 +616,7 @@ impl IncrementalScreen {
         }
         bounds.set_static_critical_ps(sta.critical_delay_ps(nl));
         bounds.check_against_critical();
-        STAT_INCR_GATES_TOUCHED.fetch_add(refolded, Ordering::Relaxed);
+        note_gates_touched(refolded);
         refolded
     }
 }
@@ -595,7 +655,7 @@ impl IncrementalTiming {
             if !out.full {
                 let n = nl.len() as u64;
                 out.gates_touched += n;
-                STAT_INCR_GATES_TOUCHED.fetch_add(n, Ordering::Relaxed);
+                note_gates_touched(n);
             }
         } else {
             out.gates_touched += self.screen.refresh(

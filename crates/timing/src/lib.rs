@@ -65,8 +65,8 @@ pub use errors::{
     ErrorClass,
 };
 pub use incr::{
-    retime_count, take_sta_counters, IncrementalScreen, IncrementalSta, IncrementalTiming,
-    RetimeOutcome, StaCounters,
+    current_sta_scope, retime_count, set_sta_scope, take_sta_counters, IncrementalScreen,
+    IncrementalSta, IncrementalTiming, RetimeOutcome, StaCounters, StaScope,
 };
 pub use paths::{k_critical_paths, RankedPath, SlackReport};
 pub use screen::{ScreenBounds, ScreenVerdict, ScreenedSim, SCREEN_GUARD_PS};

@@ -30,7 +30,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod simpoint;
+pub mod source;
+pub mod trace_bin;
 pub mod trace_io;
+
+pub use source::{take_stats, Segment, TraceSource, WorkloadStats};
 
 use ntc_isa::{arch_mask, Instruction, Opcode};
 use ntc_varmodel::rng::SplitMix64;
@@ -358,16 +363,31 @@ impl Iterator for TraceGenerator {
 
 impl Template {
     fn sample(rng: &mut SplitMix64, profile: &Profile) -> Template {
+        assert!(
+            !profile.opcode_weights.is_empty(),
+            "profile has no opcode weights to sample from"
+        );
+        // Total-checked weighted pick: a zero total (every weight zero —
+        // a shape replayed traces can legally carry) degrades to a
+        // uniform pick instead of panicking inside `gen_index(0)` or
+        // silently returning entry 0. The nonzero path consumes exactly
+        // one `gen_index(total)` draw, unchanged, so every existing
+        // seeded trace stays bit-identical.
         let total: u32 = profile.opcode_weights.iter().map(|(_, w)| w).sum();
-        let mut pick = rng.gen_index(total as usize) as u32;
-        let mut opcode = profile.opcode_weights[0].0;
-        for &(op, w) in &profile.opcode_weights {
-            if pick < w {
-                opcode = op;
-                break;
+        let opcode = if total == 0 {
+            profile.opcode_weights[rng.gen_index(profile.opcode_weights.len())].0
+        } else {
+            let mut pick = rng.gen_index(total as usize) as u32;
+            let mut chosen = None;
+            for &(op, w) in &profile.opcode_weights {
+                if pick < w {
+                    chosen = Some(op);
+                    break;
+                }
+                pick -= w;
             }
-            pick -= w;
-        }
+            chosen.expect("pick < total, so some weight bucket matched")
+        };
         let class = |rng: &mut SplitMix64| match rng.gen_index(100) as u32 {
             0..=34 => OperandClass::Narrow,
             35..=59 => OperandClass::Half,
@@ -560,6 +580,37 @@ mod tests {
                 assert_eq!(i.b, 16);
             }
         }
+    }
+
+    #[test]
+    fn zero_total_weights_sample_uniformly_instead_of_panicking() {
+        // A profile whose weights sum to zero must not panic in
+        // gen_index(0) or silently pin every template to entry 0.
+        let profile = Profile {
+            blocks: 1,
+            block_len: (2, 2),
+            loop_repeat: 0.5,
+            wide_operand_bias: 0.5,
+            opcode_weights: vec![(Opcode::Addu, 0), (Opcode::Xor, 0), (Opcode::Lw, 0)],
+        };
+        let mut rng = SplitMix64::seed_from_u64(17);
+        let seen: std::collections::HashSet<Opcode> = (0..96)
+            .map(|_| Template::sample(&mut rng, &profile).opcode)
+            .collect();
+        assert_eq!(seen.len(), 3, "uniform fallback reaches every entry");
+    }
+
+    #[test]
+    #[should_panic(expected = "no opcode weights")]
+    fn empty_weight_table_panics_with_a_clear_message() {
+        let profile = Profile {
+            blocks: 1,
+            block_len: (2, 2),
+            loop_repeat: 0.5,
+            wide_operand_bias: 0.5,
+            opcode_weights: Vec::new(),
+        };
+        let _ = Template::sample(&mut SplitMix64::seed_from_u64(1), &profile);
     }
 
     #[test]

@@ -1,0 +1,331 @@
+//! Compact binary trace serialization — the record/replay format.
+//!
+//! The text format in [`crate::trace_io`] is for diffing and archiving;
+//! this one is for feeding million-instruction recorded workloads back
+//! into the simulators cheaply. The artifact discipline mirrors the
+//! experiments grid cache: leading magic, an explicit version, a
+//! mandatory instruction count, fixed-width records, and a trailing
+//! FNV-1a checksum over everything before it. A flipped byte or a
+//! truncated file is always a detected error, never a silently shorter
+//! trace.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! [8]  magic  b"NTCTRAC1"
+//! [8]  format version (currently 1)
+//! [8]  instruction count N
+//! [17] × N records: opcode encoding (u8), operand a (u64), operand b (u64)
+//! [8]  FNV-1a 64 checksum of every preceding byte
+//! ```
+//!
+//! Files are written atomically (process-unique temp name + `rename`),
+//! so a crashed recorder can never leave a half-written trace under the
+//! final name.
+
+use ntc_isa::{Instruction, Opcode};
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// Leading magic of every binary trace file.
+pub const MAGIC: &[u8; 8] = b"NTCTRAC1";
+
+/// Current format version, stored after the magic.
+pub const VERSION: u64 = 1;
+
+/// Bytes per fixed-width instruction record.
+pub const RECORD_BYTES: usize = 1 + 8 + 8;
+
+/// FNV-1a 64-bit hash — the trailing checksum (same function the grid
+/// cache uses, reimplemented locally so `ntc-workload` stays a leaf
+/// crate).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Errors raised while decoding a binary trace.
+#[derive(Debug)]
+pub enum TraceBinError {
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The version field names a format this build cannot read.
+    BadVersion(u64),
+    /// The bytes end before the declared record payload + checksum.
+    Truncated {
+        /// Bytes the header declared the file should hold.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// The trailing checksum does not match the preceding bytes.
+    ChecksumMismatch,
+    /// A record names an opcode encoding outside the ISA.
+    BadOpcode {
+        /// 0-based record index.
+        record: usize,
+        /// The offending encoding byte.
+        code: u8,
+    },
+    /// Bytes remain after the declared records + checksum.
+    TrailingBytes,
+    /// Underlying I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for TraceBinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceBinError::BadMagic => write!(f, "not a binary trace (bad magic)"),
+            TraceBinError::BadVersion(v) => write!(f, "unsupported trace format version {v}"),
+            TraceBinError::Truncated { expected, actual } => {
+                write!(f, "truncated trace: expected {expected} bytes, found {actual}")
+            }
+            TraceBinError::ChecksumMismatch => write!(f, "trace checksum mismatch"),
+            TraceBinError::BadOpcode { record, code } => {
+                write!(f, "record {record}: unknown opcode encoding {code:#04x}")
+            }
+            TraceBinError::TrailingBytes => write!(f, "trailing bytes after the checksum"),
+            TraceBinError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceBinError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceBinError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceBinError {
+    fn from(e: io::Error) -> Self {
+        TraceBinError::Io(e)
+    }
+}
+
+/// Append one fixed-width record to `out`.
+pub(crate) fn push_record(out: &mut Vec<u8>, i: &Instruction) {
+    out.push(i.opcode.encoding());
+    out.extend_from_slice(&i.a.to_le_bytes());
+    out.extend_from_slice(&i.b.to_le_bytes());
+}
+
+/// Decode one fixed-width record from `bytes` (must be exactly
+/// [`RECORD_BYTES`] long); `record` is the 0-based index for error
+/// reporting.
+pub(crate) fn read_record(bytes: &[u8], record: usize) -> Result<Instruction, TraceBinError> {
+    debug_assert_eq!(bytes.len(), RECORD_BYTES);
+    let opcode = Opcode::from_encoding(bytes[0]).ok_or(TraceBinError::BadOpcode {
+        record,
+        code: bytes[0],
+    })?;
+    let a = u64::from_le_bytes(bytes[1..9].try_into().expect("8 bytes"));
+    let b = u64::from_le_bytes(bytes[9..17].try_into().expect("8 bytes"));
+    Ok(Instruction::new(opcode, a, b))
+}
+
+/// Encode a trace into the binary format.
+pub fn encode_trace(trace: &[Instruction]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 8 + 8 + trace.len() * RECORD_BYTES + 8);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(trace.len() as u64).to_le_bytes());
+    for i in trace {
+        push_record(&mut out, i);
+    }
+    let sum = fnv1a64(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Decode a binary trace, verifying magic, version, the declared count
+/// and the trailing checksum — truncation and corruption are always
+/// errors, never a silently shorter trace.
+///
+/// # Errors
+///
+/// Any structural violation yields the corresponding [`TraceBinError`].
+pub fn decode_trace(bytes: &[u8]) -> Result<Vec<Instruction>, TraceBinError> {
+    let header = 8 + 8 + 8;
+    if bytes.len() < header {
+        return Err(TraceBinError::Truncated {
+            expected: header + 8,
+            actual: bytes.len(),
+        });
+    }
+    if &bytes[0..8] != MAGIC {
+        return Err(TraceBinError::BadMagic);
+    }
+    let version = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    if version != VERSION {
+        return Err(TraceBinError::BadVersion(version));
+    }
+    let count = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    let count = usize::try_from(count).map_err(|_| TraceBinError::Truncated {
+        expected: usize::MAX,
+        actual: bytes.len(),
+    })?;
+    let expected = header
+        .saturating_add(count.saturating_mul(RECORD_BYTES))
+        .saturating_add(8);
+    if bytes.len() < expected {
+        return Err(TraceBinError::Truncated {
+            expected,
+            actual: bytes.len(),
+        });
+    }
+    if bytes.len() > expected {
+        return Err(TraceBinError::TrailingBytes);
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(trailer.try_into().expect("8 trailer bytes"));
+    if fnv1a64(body) != stored {
+        return Err(TraceBinError::ChecksumMismatch);
+    }
+    let mut out = Vec::with_capacity(count);
+    for r in 0..count {
+        let at = header + r * RECORD_BYTES;
+        out.push(read_record(&body[at..at + RECORD_BYTES], r)?);
+    }
+    Ok(out)
+}
+
+/// Write a binary trace file atomically: the bytes land under a
+/// process-unique temp name first and are `rename`d into place, so
+/// readers only ever observe complete files.
+///
+/// # Errors
+///
+/// Propagates I/O failures (the temp file is cleaned up on error).
+pub fn write_trace_file(path: &Path, trace: &[Instruction]) -> io::Result<()> {
+    write_atomic(path, &encode_trace(trace))
+}
+
+/// Atomic byte write shared by the trace and phase writers.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp-{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    let written = std::fs::write(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, path));
+    if written.is_err() {
+        std::fs::remove_file(&tmp).ok();
+    }
+    written
+}
+
+/// Read and decode a binary trace file.
+///
+/// # Errors
+///
+/// Propagates I/O failures and every decode error of [`decode_trace`].
+pub fn read_trace_file(path: &Path) -> Result<Vec<Instruction>, TraceBinError> {
+    decode_trace(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Benchmark, TraceGenerator};
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let trace = TraceGenerator::new(Benchmark::Mcf, 9).trace(1_000);
+        let bytes = encode_trace(&trace);
+        assert_eq!(bytes.len(), 8 + 8 + 8 + 1_000 * RECORD_BYTES + 8);
+        assert_eq!(decode_trace(&bytes).expect("decode"), trace);
+        // The empty trace is a valid (if useless) artifact too.
+        let empty = encode_trace(&[]);
+        assert_eq!(decode_trace(&empty).expect("decode empty"), Vec::new());
+    }
+
+    #[test]
+    fn truncation_is_always_detected() {
+        let trace = TraceGenerator::new(Benchmark::Gzip, 4).trace(64);
+        let bytes = encode_trace(&trace);
+        // Every proper prefix must fail — never parse as a shorter trace.
+        for len in 0..bytes.len() {
+            let e = decode_trace(&bytes[..len]).expect_err("prefix rejected");
+            assert!(
+                matches!(e, TraceBinError::Truncated { .. }),
+                "prefix of {len} bytes: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_is_always_detected() {
+        let trace = TraceGenerator::new(Benchmark::Gap, 2).trace(32);
+        let mut bytes = encode_trace(&trace);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(decode_trace(&bytes).is_err(), "flipped byte caught");
+        // Appending a byte is trailing garbage.
+        let mut extended = encode_trace(&trace);
+        extended.push(0);
+        assert!(matches!(
+            decode_trace(&extended),
+            Err(TraceBinError::TrailingBytes)
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let trace = TraceGenerator::new(Benchmark::Mcf, 1).trace(4);
+        let mut bytes = encode_trace(&trace);
+        bytes[0] = b'X';
+        assert!(matches!(decode_trace(&bytes), Err(TraceBinError::BadMagic)));
+        let mut bytes = encode_trace(&trace);
+        bytes[8] = 99;
+        // The checksum is over the (now mutated) body, so recompute it to
+        // isolate the version check.
+        let body_len = bytes.len() - 8;
+        let sum = fnv1a64(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            decode_trace(&bytes),
+            Err(TraceBinError::BadVersion(99))
+        ));
+    }
+
+    #[test]
+    fn bad_opcode_encoding_is_rejected() {
+        let trace = TraceGenerator::new(Benchmark::Mcf, 1).trace(4);
+        let mut bytes = encode_trace(&trace);
+        bytes[24] = 0xFF; // first record's opcode byte
+        let body_len = bytes.len() - 8;
+        let sum = fnv1a64(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            decode_trace(&bytes),
+            Err(TraceBinError::BadOpcode { record: 0, code: 0xFF })
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip_is_atomic_and_exact() {
+        let dir = std::env::temp_dir().join(format!("ntc-trace-bin-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("t.ntt");
+        let trace = TraceGenerator::new(Benchmark::Vortex, 3).trace(256);
+        write_trace_file(&path, &trace).expect("write");
+        assert_eq!(read_trace_file(&path).expect("read"), trace);
+        // No temp litter left behind.
+        let names: Vec<_> = std::fs::read_dir(&dir)
+            .expect("dir")
+            .map(|e| e.expect("entry").file_name())
+            .collect();
+        assert_eq!(names.len(), 1, "{names:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

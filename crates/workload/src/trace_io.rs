@@ -31,6 +31,15 @@ pub enum ParseTraceError {
         /// 1-based line number.
         line: usize,
     },
+    /// The `# ntc-workload trace, N instructions` header declared a
+    /// different count than the file actually held — a truncated (or
+    /// padded) trace must not silently parse as a different trace.
+    CountMismatch {
+        /// The count the header declared.
+        declared: usize,
+        /// The instructions actually parsed.
+        parsed: usize,
+    },
     /// Underlying I/O failure.
     Io(io::Error),
 }
@@ -47,6 +56,11 @@ impl fmt::Display for ParseTraceError {
             ParseTraceError::BadOperand { line } => {
                 write!(f, "line {line}: operands must be hexadecimal")
             }
+            ParseTraceError::CountMismatch { declared, parsed } => write!(
+                f,
+                "header declares {declared} instructions but the file holds {parsed} \
+                 (truncated or edited trace)"
+            ),
             ParseTraceError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -80,17 +94,37 @@ pub fn write_trace<W: Write>(trace: &[Instruction], mut w: W) -> io::Result<()> 
     Ok(())
 }
 
-/// Parse a trace from the text format.
+/// The instruction count a `# ntc-workload trace, N instructions`
+/// header comment declares, if this comment is such a header.
+fn header_count(comment: &str) -> Option<usize> {
+    let rest = comment.trim().strip_prefix("ntc-workload trace,")?;
+    rest.trim().strip_suffix("instructions")?.trim().parse().ok()
+}
+
+/// Parse a trace from the text format. When the writer's
+/// `# ntc-workload trace, N instructions` header is present, the parsed
+/// instruction count is validated against it, so a truncated file is an
+/// error instead of a silently shorter trace.
 ///
 /// # Errors
 ///
-/// Returns the first malformed line or I/O failure.
+/// Returns the first malformed line, a count mismatch against the
+/// header, or an I/O failure.
 pub fn read_trace<R: BufRead>(r: R) -> Result<Vec<Instruction>, ParseTraceError> {
     let mut out = Vec::new();
+    let mut declared: Option<usize> = None;
     for (idx, line) in r.lines().enumerate() {
         let line = line?;
         let line_no = idx + 1;
-        let body = line.split('#').next().unwrap_or("").trim();
+        let (body, comment) = match line.split_once('#') {
+            Some((b, c)) => (b.trim(), Some(c)),
+            None => (line.trim(), None),
+        };
+        if declared.is_none() {
+            if let Some(n) = comment.and_then(header_count) {
+                declared = Some(n);
+            }
+        }
         if body.is_empty() {
             continue;
         }
@@ -111,6 +145,14 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Vec<Instruction>, ParseTraceError>
         let b = u64::from_str_radix(fields[2], 16)
             .map_err(|_| ParseTraceError::BadOperand { line: line_no })?;
         out.push(Instruction::new(opcode, a, b));
+    }
+    if let Some(declared) = declared {
+        if declared != out.len() {
+            return Err(ParseTraceError::CountMismatch {
+                declared,
+                parsed: out.len(),
+            });
+        }
     }
     Ok(out)
 }
@@ -146,6 +188,43 @@ mod tests {
         assert!(matches!(e, ParseTraceError::UnknownOpcode { line: 2, .. }));
         let e = read_trace(io::BufReader::new("ADDU zz 1\n".as_bytes())).unwrap_err();
         assert!(matches!(e, ParseTraceError::BadOperand { line: 1 }));
+    }
+
+    #[test]
+    fn truncated_trace_with_header_is_rejected() {
+        let trace = TraceGenerator::new(Benchmark::Mcf, 8).trace(100);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).expect("write to vec");
+        let text = String::from_utf8(buf).expect("utf8");
+        // Drop the last 10 instruction lines, keeping the header.
+        let truncated: String = text
+            .lines()
+            .take(1 + 90)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let e = read_trace(io::BufReader::new(truncated.as_bytes())).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                ParseTraceError::CountMismatch {
+                    declared: 100,
+                    parsed: 90
+                }
+            ),
+            "{e}"
+        );
+        // Extra appended instructions are caught too.
+        let padded = format!("{text}ADDU 1 2\n");
+        let e = read_trace(io::BufReader::new(padded.as_bytes())).unwrap_err();
+        assert!(matches!(e, ParseTraceError::CountMismatch { parsed: 101, .. }));
+        // Headerless files still parse leniently (hand-written traces).
+        let headerless = "ADDU ff 1\nNOR 0 0\n";
+        assert_eq!(
+            read_trace(io::BufReader::new(headerless.as_bytes()))
+                .expect("no header, no check")
+                .len(),
+            2
+        );
     }
 
     #[test]

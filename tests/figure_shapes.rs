@@ -34,6 +34,12 @@ fn manifest_shape_is_golden() {
             .into_iter()
             .map(|(point, cells)| (point.name().to_owned(), cells))
             .collect(),
+        requested_vdd: ntc_choke::experiments::voltages()
+            .iter()
+            .map(|p| p.name().to_owned())
+            .collect(),
+        source: "generator".to_owned(),
+        workload: ntc_choke::workload::take_stats(),
         sweep_failures: runner::take_sweep_failures(),
         rows: table.rows.len(),
         csv: Some(csv),
@@ -70,6 +76,9 @@ fn manifest_shape_is_golden() {
             "oracle",
             "cache",
             "voltages",
+            "requested_vdd",
+            "source",
+            "workload",
             "sweep_failures",
             "rows",
             "csv",
@@ -98,6 +107,29 @@ fn manifest_shape_is_golden() {
         rec.get("cache").unwrap().keys().unwrap(),
         vec!["disk_hits", "disk_misses", "corrupt_evictions", "bytes_written"],
         "grid cache counter shape"
+    );
+    assert_eq!(
+        rec.get("workload").unwrap().keys().unwrap(),
+        vec![
+            "traces_recorded",
+            "trace_replays",
+            "phase_replays",
+            "replayed_instructions",
+            "phase_instructions"
+        ],
+        "workload counter shape"
+    );
+    assert_eq!(rec.get("source").unwrap().as_str(), Some("generator"));
+    assert_eq!(
+        rec.get("requested_vdd")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|p| p.as_str().unwrap())
+            .collect::<Vec<_>>(),
+        vec!["v0.45"],
+        "default roster is the single NTC point"
     );
     assert_eq!(rec.get("resumed"), Some(&ntc_choke::experiments::report::Json::Bool(false)));
     // And the values describe the run we just made.

@@ -33,6 +33,7 @@ fn tiny_spec(trace_seed: u64) -> GridSpec {
         chip_seed_base: 220,
         trace_seed,
         cycles: 2_000,
+        source: ntc_workload::TraceSource::Generator,
     }
 }
 

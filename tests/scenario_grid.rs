@@ -77,6 +77,7 @@ fn registry_round_trips_and_grids_are_thread_count_invariant() {
         chip_seed_base: 220,
         trace_seed: 7,
         cycles: 4_000,
+        source: ntc_workload::TraceSource::Generator,
     };
     let grids: Vec<_> = [1usize, 2, 8]
         .into_iter()
